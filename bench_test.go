@@ -1,0 +1,362 @@
+// Package bench hosts the repository-level benchmark harness: one
+// testing.B benchmark per table and figure in the paper's evaluation,
+// plus ablation benches for the design choices DESIGN.md calls out
+// (bus arbiter discipline, cache policy, page-size setting).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem .
+//
+// Key reproduced values are attached to each benchmark via ReportMetric,
+// so `go test -bench` output doubles as the paper-vs-measured record.
+package bench
+
+import (
+	"testing"
+
+	"snic/internal/accel"
+	"snic/internal/attacks"
+	"snic/internal/attest"
+	"snic/internal/bus"
+	"snic/internal/cache"
+	"snic/internal/exp"
+	"snic/internal/hwmodel"
+	"snic/internal/nf"
+	"snic/internal/pkt"
+	"snic/internal/pktio"
+	"snic/internal/snic"
+	"snic/internal/tco"
+	"snic/internal/tlb"
+)
+
+func BenchmarkTable2CoreTLBCosts(b *testing.B) {
+	var m hwmodel.Metric
+	for i := 0; i < b.N; i++ {
+		m = hwmodel.CoreTLBCost(48, 183)
+	}
+	b.ReportMetric(m.AreaMM2, "mm2@48x183")
+	b.ReportMetric(m.PowerW, "W@48x183")
+}
+
+func BenchmarkTable3AccelTLBCosts(b *testing.B) {
+	var m hwmodel.Metric
+	for i := 0; i < b.N; i++ {
+		m = hwmodel.AccelTLBCost(hwmodel.DPITLB, 54, 16)
+	}
+	b.ReportMetric(m.AreaMM2, "mm2@dpi16")
+}
+
+func BenchmarkTable4PipeTLBCosts(b *testing.B) {
+	var m hwmodel.Metric
+	for i := 0; i < b.N; i++ {
+		m = hwmodel.PipeTLBCost(3, 12)
+	}
+	b.ReportMetric(m.AreaMM2, "mm2@12vpp")
+}
+
+func BenchmarkTable5PageSizeSettings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchProfiles runs the Table 6/8 profiling workload once per iteration
+// at a reduced-but-structurally-complete scale.
+func BenchmarkTable6And8NFProfiles(b *testing.B) {
+	var profiles []exp.NFProfile
+	for i := 0; i < b.N; i++ {
+		var err error
+		profiles, err = exp.ProfileNFs(nf.SuiteConfig{
+			FirewallRules: 643, DPIPatterns: 2000, Routes: 16000, Backends: 64, Seed: 1,
+		}, 20000, 60000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range profiles {
+		if p.Name == "LPM" {
+			b.ReportMetric(float64(p.Measured.Total())/(1<<20), "LPM-MB")
+			b.ReportMetric(float64(p.Equal), "LPM-TLB-entries")
+		}
+	}
+}
+
+func BenchmarkTable7AcceleratorProfiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table7(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCO(b *testing.B) {
+	var r tco.Report
+	for i := 0; i < b.N; i++ {
+		r = tco.Compute(tco.PaperParams())
+	}
+	b.ReportMetric(r.SNICPerCore, "$peSNICcore")
+	b.ReportMetric(r.AdvantageKept*100, "pct-advantage-kept")
+}
+
+func BenchmarkHeadlineHardwareCost(b *testing.B) {
+	var areaPct, powerPct float64
+	for i := 0; i < b.N; i++ {
+		_, _, areaPct, powerPct = hwmodel.Headline()
+	}
+	b.ReportMetric(areaPct, "area-pct")
+	b.ReportMetric(powerPct, "power-pct")
+}
+
+func fig5Bench() exp.Fig5Config {
+	return exp.Fig5Config{
+		PoolFlows:    20000,
+		WarmupInstr:  40000,
+		MeasureInstr: 120000,
+		Colocations:  3,
+		Seed:         1,
+	}
+}
+
+func BenchmarkFigure5aCacheSweep(b *testing.B) {
+	var med float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Figure5a(fig5Bench(), []uint64{64 << 10, 4 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		med, _ = exp.MedianAcrossNFs(rows, "4MB")
+	}
+	b.ReportMetric(med, "pct-degr-2NF-4MB")
+}
+
+func BenchmarkFigure5bCotenancySweep(b *testing.B) {
+	var m4, m8 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Figure5b(fig5Bench(), []int{4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m4, _ = exp.MedianAcrossNFs(rows, "4 NFs")
+		m8, _ = exp.MedianAcrossNFs(rows, "8 NFs")
+	}
+	b.ReportMetric(m4, "pct-degr-4NF")
+	b.ReportMetric(m8, "pct-degr-8NF")
+}
+
+func BenchmarkFigure6InstructionLatency(b *testing.B) {
+	var rows []exp.Fig6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.NF == "Mon" {
+			b.ReportMetric(r.LaunchSHAMS, "Mon-launch-SHA-ms")
+			b.ReportMetric(r.DestroyScrub, "Mon-scrub-ms")
+		}
+	}
+}
+
+func BenchmarkFigure7MonitorTimeSeries(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		series, err := exp.Figure7(20, 4000, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = series[len(series)-1].LiveMB
+	}
+	b.ReportMetric(last, "final-MB")
+}
+
+func BenchmarkFigure8DPIThroughput(b *testing.B) {
+	var rows []exp.Fig8Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Figure8(3000)
+	}
+	for _, r := range rows {
+		if r.Threads == 48 && r.FrameBytes == 64 {
+			b.ReportMetric(r.Mpps, "Mpps-48thr-64B")
+		}
+		if r.Threads == 16 && r.FrameBytes == 9216 {
+			b.ReportMetric(r.Mpps, "Mpps-16thr-9KB")
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkBusArbiters measures a victim's bus wait under a saturating
+// attacker for each arbitration discipline (the §4.5 design choice).
+func BenchmarkBusArbiters(b *testing.B) {
+	disciplines := []struct {
+		name string
+		mk   func() bus.Arbiter
+	}{
+		{"FIFO", func() bus.Arbiter { return bus.NewFIFO() }},
+		{"RoundRobin", func() bus.Arbiter { return bus.NewRoundRobin(2, 1024) }},
+		{"Temporal", func() bus.Arbiter { return bus.NewTemporal(2, 60, 10) }},
+	}
+	for _, d := range disciplines {
+		b.Run(d.name, func(b *testing.B) {
+			var waited uint64
+			for i := 0; i < b.N; i++ {
+				arb := bus.NewTracker(d.mk(), 2)
+				// Attacker floods...
+				now := uint64(0)
+				for j := 0; j < 2000; j++ {
+					now = arb.Request(0, now, 8) + 8
+				}
+				// ...victim issues 100 spaced ops.
+				vnow := uint64(0)
+				for j := 0; j < 100; j++ {
+					start := arb.Request(1, vnow, 8)
+					vnow = start + 50
+				}
+				waited = arb.Stats(1).WaitCycles
+			}
+			b.ReportMetric(float64(waited)/100, "victim-wait-cycles/op")
+		})
+	}
+}
+
+// BenchmarkCachePolicies measures prime+probe leakage per policy (the
+// §4.2 design choice).
+func BenchmarkCachePolicies(b *testing.B) {
+	for _, p := range []cache.Policy{cache.Shared, cache.Static} {
+		b.Run(p.String(), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				acc, err = attacks.PrimeProbe(p, 128, uint64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(acc*100, "probe-accuracy-pct")
+		})
+	}
+}
+
+// BenchmarkDPIClusterGranularity extends Figure 8 with the small-cluster
+// configurations the paper's hardware cannot test (its parts cluster at a
+// 16-thread granularity).
+func BenchmarkDPIClusterGranularity(b *testing.B) {
+	p := accel.DefaultDPIPerf()
+	for _, threads := range []int{4, 8, 16, 32, 48} {
+		b.Run(benchName(threads), func(b *testing.B) {
+			var mpps float64
+			for i := 0; i < b.N; i++ {
+				mpps = accel.Mpps(accel.SimulateThroughput(p, threads, 1536, 3000))
+			}
+			b.ReportMetric(mpps, "Mpps-1.5KB")
+		})
+	}
+}
+
+func benchName(threads int) string {
+	return map[int]string{4: "4thr", 8: "8thr", 16: "16thr", 32: "32thr", 48: "48thr"}[threads]
+}
+
+// --- Microbenchmarks of the trusted instructions --------------------------
+
+func deviceForBench(b *testing.B) *snic.Device {
+	b.Helper()
+	v, err := attest.NewVendor("V", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := snic.New(snic.Config{Cores: 8, MemBytes: 256 << 20}, v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkNFLaunchTeardown(b *testing.B) {
+	d := deviceForBench(b)
+	spec := snic.LaunchSpec{
+		CoreMask: 0b01, Image: make([]byte, 64<<10), MemBytes: 8 << 20, DMACore: -1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := d.Launch(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Teardown(rep.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNFAttest(b *testing.B) {
+	d := deviceForBench(b)
+	rep, err := d.Launch(snic.LaunchSpec{
+		CoreMask: 0b01, Image: []byte("nf"), MemBytes: 1 << 20, DMACore: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nonce := []byte("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := d.AttestNF(rep.ID, nonce); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSendLocalChainHop(b *testing.B) {
+	d := deviceForBench(b)
+	a, err := d.Launch(snic.LaunchSpec{CoreMask: 0b01, Image: []byte("a"), MemBytes: 2 << 20, DMACore: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := d.Launch(snic.LaunchSpec{CoreMask: 0b10, Image: []byte("b"), MemBytes: 2 << 20, DMACore: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := make([]byte, 1500)
+	if err := d.NFWrite(a.ID, tlb.VAddr(512<<10), frame); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.SendLocal(a.ID, c.ID, tlb.VAddr(512<<10), len(frame)); err != nil {
+			b.Fatal(err)
+		}
+		d.NF(c.ID).VPP.Pop() // drain so the ring never tail-drops
+	}
+}
+
+func BenchmarkPacketSwitchDeliver(b *testing.B) {
+	d := deviceForBench(b)
+	_, err := d.Launch(snic.LaunchSpec{
+		CoreMask: 0b01, Image: []byte("nf"), MemBytes: 2 << 20,
+		Rules:   []pktio.MatchSpec{{Proto: pkt.ProtoTCP}},
+		DMACore: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := (&pkt.Packet{
+		Tuple:   pkt.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 80, Proto: pkt.ProtoTCP},
+		Payload: make([]byte, 512),
+	}).Marshal()
+	id := snic.ID(3)
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Switch().Deliver(frame); err != nil {
+			b.Fatal(err)
+		}
+		d.NF(id).VPP.Pop()
+	}
+}

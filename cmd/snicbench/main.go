@@ -1,0 +1,194 @@
+// Command snicbench regenerates every table and figure from the paper's
+// evaluation. Usage:
+//
+//	snicbench -experiment all            # everything (minutes at -scale full)
+//	snicbench -experiment table2         # one table
+//	snicbench -experiment fig5a -scale small
+//
+// Experiments: table2 table3 table4 table5 table6 table7 table8 tco
+// headline fig5a fig5b fig6 fig7 fig8 all. (Attack demos live in
+// cmd/snicattack.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"snic/internal/exp"
+	"snic/internal/nf"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	scale := flag.String("scale", "medium", "fidelity: small | medium | full")
+	format := flag.String("format", "text", "output format: text | csv | json")
+	flag.Parse()
+
+	outFmt, err := exp.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snicbench:", err)
+		os.Exit(2)
+	}
+	emit := func(t exp.Table) error {
+		s, err := t.Render(outFmt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(s)
+		return nil
+	}
+
+	cfgs := scaleConfigs(*scale)
+	run := func(name string, fn func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "snicbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table2", func() error { return emit(exp.Table2()) })
+	run("table3", func() error { return emit(exp.Table3()) })
+	run("table4", func() error { return emit(exp.Table4()) })
+	run("table5", func() error {
+		t, err := exp.Table5()
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	})
+	var profiles []exp.NFProfile
+	profile := func() error {
+		if profiles != nil {
+			return nil
+		}
+		var err error
+		profiles, err = exp.ProfileNFs(cfgs.suite, cfgs.flows, cfgs.packets)
+		return err
+	}
+	run("table6", func() error {
+		if err := profile(); err != nil {
+			return err
+		}
+		return emit(exp.Table6(profiles))
+	})
+	run("table7", func() error {
+		t, err := exp.Table7(0)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	})
+	run("table8", func() error {
+		if err := profile(); err != nil {
+			return err
+		}
+		return emit(exp.Table8(profiles))
+	})
+	run("tco", func() error { return emit(exp.TCO()) })
+	run("headline", func() error { return emit(exp.Headline()) })
+	run("fig5a", func() error {
+		rows, err := exp.Figure5a(cfgs.fig5, cfgs.l2Sizes)
+		if err != nil {
+			return err
+		}
+		if err := emit(exp.RenderFig5("Figure 5a: IPC degradation vs L2 size (2 NFs)", rows)); err != nil {
+			return err
+		}
+		med, p99 := exp.MedianAcrossNFs(rows, "4MB")
+		fmt.Printf("  2 NFs @ 4MB: mean-of-medians %.2f%%, p99 %.2f%% (paper: 0.24%% median)\n\n", med, p99)
+		return nil
+	})
+	run("fig5b", func() error {
+		rows, err := exp.Figure5b(cfgs.fig5, cfgs.counts)
+		if err != nil {
+			return err
+		}
+		if err := emit(exp.RenderFig5("Figure 5b: IPC degradation vs co-tenancy (4MB L2)", rows)); err != nil {
+			return err
+		}
+		for _, n := range cfgs.counts {
+			med, p99 := exp.MedianAcrossNFs(rows, fmt.Sprintf("%d NFs", n))
+			fmt.Printf("  %2d NFs @ 4MB: mean-of-medians %.2f%%, p99 %.2f%%\n", n, med, p99)
+		}
+		fmt.Println("  (paper: 4 NFs 0.93%/1.66%, 8 NFs 3.41%/5.12%, 16 NFs 9.44%/13.71%)")
+		fmt.Println()
+		return nil
+	})
+	run("fig6", func() error {
+		rows, err := exp.Figure6()
+		if err != nil {
+			return err
+		}
+		return emit(exp.RenderFig6(rows))
+	})
+	run("fig7", func() error {
+		series, err := exp.Figure7(cfgs.fig7Seconds, cfgs.fig7Rate, 150)
+		if err != nil {
+			return err
+		}
+		return emit(exp.RenderFig7(series))
+	})
+	run("fig8", func() error {
+		return emit(exp.RenderFig8(exp.Figure8(cfgs.fig8Requests)))
+	})
+	if *experiment != "all" && !ranAny(*experiment) {
+		fmt.Fprintf(os.Stderr, "snicbench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func ranAny(name string) bool {
+	known := "table2 table3 table4 table5 table6 table7 table8 tco headline fig5a fig5b fig6 fig7 fig8"
+	return strings.Contains(" "+known+" ", " "+name+" ")
+}
+
+type configs struct {
+	suite        nf.SuiteConfig
+	flows        int
+	packets      int
+	fig5         exp.Fig5Config
+	l2Sizes      []uint64
+	counts       []int
+	fig7Seconds  float64
+	fig7Rate     float64
+	fig8Requests int
+}
+
+func scaleConfigs(scale string) configs {
+	switch scale {
+	case "small":
+		return configs{
+			suite: nf.TestScale(1), flows: 2000, packets: 5000,
+			fig5: exp.Fig5Config{PoolFlows: 5000, WarmupInstr: 20000,
+				MeasureInstr: 60000, Colocations: 3, Seed: 1},
+			l2Sizes:     []uint64{64 << 10, 1 << 20, 4 << 20},
+			counts:      []int{2, 4, 8},
+			fig7Seconds: 30, fig7Rate: 4000, fig8Requests: 2000,
+		}
+	case "full":
+		return configs{
+			suite: nf.SuiteConfig{Seed: 1}, flows: 100000, packets: 2000000,
+			fig5: exp.Fig5Config{PoolFlows: 100000, WarmupInstr: 500000,
+				MeasureInstr: 2000000, Colocations: 8, Seed: 1},
+			l2Sizes:     nil, // all twelve paper sizes
+			counts:      []int{2, 3, 4, 8, 16},
+			fig7Seconds: 150, fig7Rate: 0, fig8Requests: 20000,
+		}
+	default: // medium
+		return configs{
+			suite: nf.SuiteConfig{FirewallRules: 643, DPIPatterns: 8000,
+				Routes: 16000, Backends: 64, Seed: 1},
+			flows: 50000, packets: 300000,
+			fig5: exp.Fig5Config{PoolFlows: 50000, WarmupInstr: 100000,
+				MeasureInstr: 400000, Colocations: 4, Seed: 1},
+			l2Sizes:     []uint64{8 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20},
+			counts:      []int{2, 3, 4, 8, 16},
+			fig7Seconds: 60, fig7Rate: 7417, fig8Requests: 8000,
+		}
+	}
+}

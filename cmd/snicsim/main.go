@@ -1,0 +1,104 @@
+// Command snicsim runs one co-tenancy scenario through the timing
+// simulator and reports per-NF IPC under commodity sharing vs S-NIC
+// isolation. Example:
+//
+//	snicsim -nfs FW,DPI,NAT,LB -l2 4194304 -instr 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"snic/internal/bus"
+	"snic/internal/cache"
+	"snic/internal/cpu"
+	"snic/internal/mem"
+	"snic/internal/nf"
+	"snic/internal/sim"
+	"snic/internal/trace"
+)
+
+func main() {
+	nfsFlag := flag.String("nfs", "FW,DPI", "comma-separated NFs to co-locate (FW DPI NAT LB LPM Mon)")
+	l2Size := flag.Uint64("l2", 4<<20, "shared L2 size in bytes")
+	instr := flag.Uint64("instr", 400000, "instructions to measure per core")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	names := strings.Split(*nfsFlag, ",")
+	if err := run(names, *l2Size, *instr, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "snicsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(names []string, l2Size, instr, seed uint64) error {
+	type result struct{ base, snicIPC []float64 }
+	var res result
+	for _, mode := range []string{"baseline", "snic"} {
+		n := len(names)
+		policy := cache.Shared
+		var arb bus.Arbiter = bus.NewFIFO()
+		if mode == "snic" {
+			policy = cache.Static
+			arb = bus.NewTemporal(n, 60, 10)
+		}
+		ways := 16
+		if policy == cache.Static && ways < n {
+			ways = n
+		}
+		l2, err := cache.New(cache.Config{
+			Name: "L2", Size: l2Size, LineSize: 64, Ways: ways,
+			Policy: policy, Domains: n,
+		})
+		if err != nil {
+			return err
+		}
+		tr := bus.NewTracker(arb, n)
+		rng := sim.NewRand(seed)
+		pool := trace.NewICTF(rng.Fork(), 50000)
+		cfg := nf.SuiteConfig{FirewallRules: 643, DPIPatterns: 4000, Routes: 8000, Seed: seed}
+		cores := make([]*cpu.Core, n)
+		streams := make([]cpu.Stream, n)
+		for i, name := range names {
+			f, err := nf.New(strings.TrimSpace(name), cfg)
+			if err != nil {
+				return err
+			}
+			l1, err := cache.New(cache.Config{
+				Name: "L1", Size: 32 << 10, LineSize: 64, Ways: 4, Domains: 1,
+			})
+			if err != nil {
+				return err
+			}
+			cores[i] = &cpu.Core{Domain: i, L1: l1, L2: l2, Bus: tr, Lat: cpu.DefaultLatencies()}
+			streams[i] = f.NewStream(sim.NewRand(seed+uint64(i)+1), pool, mem.Addr(i+1)<<32)
+		}
+		r := &cpu.Runner{Cores: cores, Streams: streams}
+		r.RunInstr(instr / 4) // warmup
+		for _, c := range cores {
+			c.ResetCounters()
+		}
+		r.RunInstr(instr)
+		ipcs := make([]float64, n)
+		for i, c := range cores {
+			ipcs[i] = c.IPC()
+		}
+		if mode == "baseline" {
+			res.base = ipcs
+		} else {
+			res.snicIPC = ipcs
+		}
+	}
+	fmt.Printf("%-6s %-14s %-14s %s\n", "NF", "baseline IPC", "S-NIC IPC", "degradation")
+	for i, name := range names {
+		d := (res.base[i] - res.snicIPC[i]) / res.base[i] * 100
+		if d < 0 {
+			d = 0
+		}
+		fmt.Printf("%-6s %-14.3f %-14.3f %.2f%%\n", strings.TrimSpace(name), res.base[i], res.snicIPC[i], d)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+// Detour: the Figure 4a use case. Two enterprises outsource packet
+// inspection for a cross-enterprise flow to an S-NIC function inside an
+// untrusted cloud. Each gateway attests the middlebox, builds an
+// encrypted tunnel to it, and sends traffic through; the middlebox
+// decrypts, inspects (DPI), and re-encrypts toward the other side. The
+// cloud operator sees only ciphertext and cannot impersonate or modify
+// the middlebox without detection.
+//
+//	go run ./examples/detour
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"snic/internal/attest"
+	"snic/internal/enclave"
+	"snic/internal/nf"
+	"snic/internal/pkt"
+	"snic/internal/snic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// gateway is an enterprise edge box: it holds its own attestation
+// identity (e.g. a TPM-backed appliance) and one tunnel to the middlebox.
+type gateway struct {
+	name   string
+	ident  *enclave.Enclave
+	tunnel *attest.Channel
+}
+
+func run() error {
+	nicVendor, err := attest.NewVendor("Acme Silicon", nil)
+	if err != nil {
+		return err
+	}
+	applVendor, err := attest.NewVendor("EdgeBox Corp", nil)
+	if err != nil {
+		return err
+	}
+
+	// The cloud provider hosts an S-NIC running the shared IDS middlebox.
+	dev, err := snic.New(snic.Config{Cores: 4, MemBytes: 32 << 20}, nicVendor)
+	if err != nil {
+		return err
+	}
+	rep, err := dev.Launch(snic.LaunchSpec{
+		CoreMask: 0b01,
+		Image:    []byte("cross-enterprise-ids-v2"),
+		MemBytes: 4 << 20,
+		DMACore:  -1,
+	})
+	if err != nil {
+		return err
+	}
+	ids, err := nf.NewDPI([][]byte{[]byte("EXFILTRATE"), []byte("beacon-c2")}, true)
+	if err != nil {
+		return err
+	}
+	nfAttester := enclave.AttesterFunc(func(nonce []byte) (attest.Quote, *big.Int, error) {
+		q, x, _, err := dev.AttestNF(rep.ID, nonce)
+		return q, x, err
+	})
+	fmt.Println("cloud: IDS middlebox launched on S-NIC, id", rep.ID)
+
+	// Each enterprise gateway attests the middlebox (and vice versa)
+	// before trusting it with plaintext, then keeps its tunnel channel.
+	mkGateway := func(name string, n1, n2 string) (*gateway, *attest.Channel, error) {
+		id, err := enclave.New(applVendor, name, []byte(name+" firmware"))
+		if err != nil {
+			return nil, nil, err
+		}
+		gwCh, nfCh, err := enclave.Pair(
+			id, applVendor, id.Measurement(),
+			nfAttester, nicVendor, dev.NF(rep.ID).Hash,
+			[]byte(n1), []byte(n2))
+		if err != nil {
+			return nil, nil, err
+		}
+		return &gateway{name: name, ident: id, tunnel: gwCh}, nfCh, nil
+	}
+	client, nfFromClient, err := mkGateway("client-gw", "nc1", "nc2")
+	if err != nil {
+		return err
+	}
+	dest, nfToDest, err := mkGateway("dest-gw", "nd1", "nd2")
+	if err != nil {
+		return err
+	}
+	fmt.Println("tunnels: client-gw <-> middlebox <-> dest-gw (mutually attested)")
+
+	// Cross-enterprise flow: client sends records through the detour.
+	records := []string{
+		"quarterly numbers draft",
+		"deploy key rotation notice",
+		"EXFILTRATE db_dump.tgz to pastebin", // malicious insider
+	}
+	delivered := 0
+	for _, msg := range records {
+		// Client gateway encrypts toward the middlebox; the cloud carries
+		// only ciphertext.
+		wire := client.tunnel.Seal([]byte(msg))
+		// Middlebox (inside its virtual NIC) decrypts, inspects, forwards.
+		plain, err := nfFromClient.Open(wire)
+		if err != nil {
+			return err
+		}
+		p := pkt.Packet{Tuple: pkt.FiveTuple{Proto: pkt.ProtoTCP, DstPort: 443}, Payload: plain}
+		if ids.Process(&p) == nf.Drop {
+			fmt.Printf("middlebox: BLOCKED %q\n", msg)
+			continue
+		}
+		out := nfToDest.Seal(plain)
+		got, err := dest.tunnel.Open(out)
+		if err != nil {
+			return err
+		}
+		delivered++
+		fmt.Printf("dest-gw: received %q\n", got)
+	}
+	fmt.Printf("flow summary: %d/%d records delivered, %d alerts\n",
+		delivered, len(records), ids.Matches)
+
+	// The cloud operator cannot read the tunnel...
+	wire := client.tunnel.Seal([]byte("operator must not see this"))
+	if _, err := dest.tunnel.Open(wire); err == nil {
+		return fmt.Errorf("cross-tunnel decryption should fail (different keys)")
+	}
+	// ...and cannot splice in its own "middlebox" (no vendor-endorsed
+	// quote over the expected launch hash).
+	fakeVendor, _ := attest.NewVendor("Cloud Operator", nil)
+	fake, _ := enclave.New(fakeVendor, "fake-ids", []byte("cross-enterprise-ids-v2"))
+	_, _, err = enclave.Pair(
+		fake, nicVendor, dev.NF(rep.ID).Hash,
+		client.ident, applVendor, client.ident.Measurement(),
+		[]byte("x1"), []byte("x2"))
+	if err == nil {
+		return fmt.Errorf("operator impersonated the middlebox")
+	}
+	fmt.Println("operator snooping and impersonation both rejected")
+	return nil
+}

@@ -1,0 +1,3 @@
+module snic
+
+go 1.22

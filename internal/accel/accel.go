@@ -1,0 +1,222 @@
+// Package accel models the smart NIC's hardware accelerators and S-NIC's
+// virtualization of them (§4.3, Figure 3).
+//
+// A physical accelerator (DPI, ZIP, or RAID) owns a pool of hardware
+// threads. S-NIC statically groups threads into clusters and places a
+// locked TLB bank in front of each cluster, so a cluster bound to one
+// network function can only reach that function's DRAM: its instruction
+// queue, buffers, and (for DPI) automaton graph. A cluster's TLB misses
+// are fatal, exactly as for programmable cores.
+//
+// The package also contains the dispatcher/thread timing model that
+// regenerates Figure 8 (DPI throughput vs. cluster size and frame size).
+package accel
+
+import (
+	"fmt"
+
+	"snic/internal/mem"
+	"snic/internal/tlb"
+)
+
+// Kind identifies an accelerator type.
+type Kind int
+
+// Accelerator kinds evaluated in the paper.
+const (
+	DPI Kind = iota
+	ZIP
+	RAID
+)
+
+// kindNames and kindTLB are extensible registries so additional
+// accelerator kinds (e.g. CRYPTO) can plug in without touching the
+// published Table 3/7 calibration.
+var (
+	kindNames = map[Kind]string{DPI: "DPI", ZIP: "ZIP", RAID: "RAID"}
+	kindTLB   = map[Kind]int{DPI: 54, ZIP: 70, RAID: 5}
+)
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// TLBEntriesFor returns the per-cluster TLB size Table 3/7 derives from
+// each accelerator's buffer inventory under 2 MB pages.
+func TLBEntriesFor(k Kind) int {
+	return kindTLB[k]
+}
+
+// Cluster is an allocatable group of hardware threads behind one TLB bank.
+type Cluster struct {
+	ID      int
+	Kind    Kind
+	Threads int
+	TLB     *tlb.Bank
+	owner   mem.Owner
+}
+
+// Owner returns the NF the cluster is bound to (mem.Free if unbound).
+func (c *Cluster) Owner() mem.Owner { return c.owner }
+
+// Accelerator is one physical accelerator: a fixed thread pool statically
+// grouped into clusters ("current NICs only support clustering threads at
+// a granularity of 16 threads", §C — the granularity is configurable
+// here).
+type Accelerator struct {
+	kind     Kind
+	clusters []*Cluster
+}
+
+// New builds an accelerator with totalThreads grouped into clusters of
+// threadsPerCluster. totalThreads must divide evenly.
+func New(kind Kind, totalThreads, threadsPerCluster int) (*Accelerator, error) {
+	if totalThreads <= 0 || threadsPerCluster <= 0 || totalThreads%threadsPerCluster != 0 {
+		return nil, fmt.Errorf("accel: bad geometry %d/%d", totalThreads, threadsPerCluster)
+	}
+	a := &Accelerator{kind: kind}
+	n := totalThreads / threadsPerCluster
+	for i := 0; i < n; i++ {
+		a.clusters = append(a.clusters, &Cluster{
+			ID:      i,
+			Kind:    kind,
+			Threads: threadsPerCluster,
+			TLB:     tlb.NewBank(TLBEntriesFor(kind)),
+			owner:   mem.Free,
+		})
+	}
+	return a, nil
+}
+
+// Kind returns the accelerator type.
+func (a *Accelerator) Kind() Kind { return a.kind }
+
+// NumClusters returns how many clusters exist.
+func (a *Accelerator) NumClusters() int { return len(a.clusters) }
+
+// FreeClusters returns how many clusters are unbound.
+func (a *Accelerator) FreeClusters() int {
+	n := 0
+	for _, c := range a.clusters {
+		if c.owner == mem.Free {
+			n++
+		}
+	}
+	return n
+}
+
+// Alloc binds count clusters to owner, installing the given TLB entries in
+// each cluster's bank and locking it. This is the accelerator half of
+// nf_launch: it fails atomically (no clusters bound) if not enough are
+// free or the mappings are invalid.
+func (a *Accelerator) Alloc(owner mem.Owner, count int, entries []tlb.Entry) ([]*Cluster, error) {
+	if owner == mem.Free {
+		return nil, fmt.Errorf("accel: cannot bind to Free")
+	}
+	var picked []*Cluster
+	for _, c := range a.clusters {
+		if c.owner == mem.Free {
+			picked = append(picked, c)
+			if len(picked) == count {
+				break
+			}
+		}
+	}
+	if len(picked) < count {
+		return nil, fmt.Errorf("accel: %s has %d free clusters, need %d", a.kind, len(picked), count)
+	}
+	for i, c := range picked {
+		// Hardware sizes these banks per Table 7 (2 MB pages); the
+		// simulator may pass finer-grained mappings, so size to fit.
+		capEntries := TLBEntriesFor(a.kind)
+		if len(entries) > capEntries {
+			capEntries = len(entries)
+		}
+		bank := tlb.NewBank(capEntries)
+		for _, e := range entries {
+			if err := bank.Install(e); err != nil {
+				// Unwind everything bound so far: atomic failure.
+				for _, u := range picked[:i] {
+					u.owner = mem.Free
+					u.TLB = tlb.NewBank(TLBEntriesFor(a.kind))
+				}
+				return nil, fmt.Errorf("accel: cluster %d: %w", c.ID, err)
+			}
+		}
+		bank.Lock()
+		c.TLB = bank
+		c.owner = owner
+	}
+	return picked, nil
+}
+
+// Release unbinds every cluster owned by owner, clearing TLB state (the
+// accelerator half of nf_teardown). It returns how many were released.
+func (a *Accelerator) Release(owner mem.Owner) int {
+	n := 0
+	for _, c := range a.clusters {
+		if c.owner == owner {
+			c.owner = mem.Free
+			c.TLB = tlb.NewBank(TLBEntriesFor(a.kind))
+			n++
+		}
+	}
+	return n
+}
+
+// read translates and reads n bytes at va through the cluster's TLB.
+func (c *Cluster) read(pm *mem.Physical, va tlb.VAddr, n int) ([]byte, error) {
+	if c.owner == mem.Free {
+		return nil, fmt.Errorf("accel: cluster %d unbound", c.ID)
+	}
+	buf := make([]byte, n)
+	// Translate page-by-page: a buffer may span mappings.
+	off := 0
+	for off < n {
+		chunk := n - off
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		pa, err := c.TLB.Translate(va+tlb.VAddr(off), tlb.PermRead)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.TLB.Translate(va+tlb.VAddr(off+chunk-1), tlb.PermRead); err != nil {
+			return nil, err
+		}
+		if err := pm.Read(pa, buf[off:off+chunk]); err != nil {
+			return nil, err
+		}
+		off += chunk
+	}
+	return buf, nil
+}
+
+// write translates and writes data at va through the cluster's TLB.
+func (c *Cluster) write(pm *mem.Physical, va tlb.VAddr, data []byte) error {
+	if c.owner == mem.Free {
+		return fmt.Errorf("accel: cluster %d unbound", c.ID)
+	}
+	off := 0
+	for off < len(data) {
+		chunk := len(data) - off
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		pa, err := c.TLB.Translate(va+tlb.VAddr(off), tlb.PermWrite)
+		if err != nil {
+			return err
+		}
+		if _, err := c.TLB.Translate(va+tlb.VAddr(off+chunk-1), tlb.PermWrite); err != nil {
+			return err
+		}
+		if err := pm.Write(pa, data[off:off+chunk]); err != nil {
+			return err
+		}
+		off += chunk
+	}
+	return nil
+}

@@ -1,0 +1,335 @@
+package accel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"snic/internal/ac"
+	"snic/internal/mem"
+	"snic/internal/sim"
+	"snic/internal/tlb"
+)
+
+const page = 128 << 10
+
+func setup(t *testing.T) (*mem.Physical, *Accelerator) {
+	t.Helper()
+	pm, err := mem.NewPhysical(64<<20, page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(DPI, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm, a
+}
+
+// mapRegion allocates n bytes for owner and returns TLB entries mapping
+// them at va 0.
+func mapRegion(t *testing.T, pm *mem.Physical, owner mem.Owner, n uint64) (mem.Range, []tlb.Entry) {
+	t.Helper()
+	r, err := pm.AllocBytes(owner, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []tlb.Entry
+	for i := uint64(0); i < r.Frames; i++ {
+		entries = append(entries, tlb.Entry{
+			VA:   tlb.VAddr(i * page),
+			PA:   r.Start + mem.Addr(i*page),
+			Size: page,
+			Perm: tlb.PermRW,
+		})
+	}
+	return r, entries
+}
+
+func TestGeometryValidation(t *testing.T) {
+	if _, err := New(DPI, 64, 0); err == nil {
+		t.Fatal("zero cluster size accepted")
+	}
+	if _, err := New(DPI, 64, 48); err == nil {
+		t.Fatal("non-dividing cluster size accepted")
+	}
+	a, _ := New(ZIP, 64, 8)
+	if a.NumClusters() != 8 || a.FreeClusters() != 8 {
+		t.Fatalf("clusters = %d free = %d", a.NumClusters(), a.FreeClusters())
+	}
+}
+
+func TestAllocBindsAndReleases(t *testing.T) {
+	pm, a := setup(t)
+	_, entries := mapRegion(t, pm, mem.FirstNF, 2*page)
+	cs, err := a.Alloc(mem.FirstNF, 2, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 || a.FreeClusters() != 2 {
+		t.Fatalf("bound %d, free %d", len(cs), a.FreeClusters())
+	}
+	for _, c := range cs {
+		if c.Owner() != mem.FirstNF || !c.TLB.Locked() {
+			t.Fatal("cluster not bound/locked")
+		}
+	}
+	if n := a.Release(mem.FirstNF); n != 2 {
+		t.Fatalf("released %d", n)
+	}
+	if a.FreeClusters() != 4 {
+		t.Fatal("release did not free")
+	}
+}
+
+func TestAllocInsufficientClusters(t *testing.T) {
+	pm, a := setup(t)
+	_, entries := mapRegion(t, pm, mem.FirstNF, page)
+	if _, err := a.Alloc(mem.FirstNF, 5, entries); err == nil {
+		t.Fatal("overallocation accepted")
+	}
+	if a.FreeClusters() != 4 {
+		t.Fatal("failed alloc leaked clusters")
+	}
+}
+
+func TestAllocAtomicUnwind(t *testing.T) {
+	pm, a := setup(t)
+	_, good := mapRegion(t, pm, mem.FirstNF, page)
+	bad := append(good, tlb.Entry{VA: 12345, PA: 0, Size: page, Perm: tlb.PermRW}) // unaligned
+	if _, err := a.Alloc(mem.FirstNF, 2, bad); err == nil {
+		t.Fatal("bad entries accepted")
+	}
+	if a.FreeClusters() != 4 {
+		t.Fatal("failed alloc left clusters bound")
+	}
+}
+
+func TestVDPIScansOwnMemoryOnly(t *testing.T) {
+	pm, a := setup(t)
+	// NF A's memory holds a payload containing a signature.
+	rA, entA := mapRegion(t, pm, mem.FirstNF, page)
+	payload := []byte("____EVIL_SIGNATURE____")
+	if err := pm.Write(rA.Start, payload); err != nil {
+		t.Fatal(err)
+	}
+	csA, err := a.Alloc(mem.FirstNF, 1, entA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, _ := ac.Compile([][]byte{[]byte("EVIL_SIGNATURE")})
+	v, err := NewVDPI(csA[0], auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := v.ScanBuffer(pm, 0, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("matches = %+v", ms)
+	}
+	// The cluster's VA space only covers NF A's page: anything beyond
+	// faults (fatal TLB miss), so NF A cannot point its vDPI at NF B.
+	if _, err := v.ScanBuffer(pm, tlb.VAddr(2*page), 16); !errors.Is(err, tlb.ErrMiss) {
+		t.Fatalf("cross-NF scan: %v", err)
+	}
+}
+
+func TestVDPIWrongKind(t *testing.T) {
+	zip, _ := New(ZIP, 16, 16)
+	if _, err := NewVDPI(zip.clusters[0], nil); err == nil {
+		t.Fatal("ZIP cluster accepted as vDPI")
+	}
+}
+
+func TestVZIPRoundTripThroughDRAM(t *testing.T) {
+	pm, _ := setup(t)
+	z, err := New(ZIP, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, entries := mapRegion(t, pm, mem.FirstNF, 4*page)
+	cs, err := z.Alloc(mem.FirstNF, 1, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vz, err := NewVZIP(cs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := bytes.Repeat([]byte("smartnic isolation "), 500)
+	if err := pm.Write(r.Start, src); err != nil {
+		t.Fatal(err)
+	}
+	compLen, err := vz.CompressBuffer(pm, 0, len(src), tlb.VAddr(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compLen >= len(src) {
+		t.Fatalf("no compression: %d -> %d", len(src), compLen)
+	}
+	outLen, err := vz.DecompressBuffer(pm, tlb.VAddr(page), compLen, tlb.VAddr(2*page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outLen != len(src) {
+		t.Fatalf("decompressed %d bytes", outLen)
+	}
+	got := make([]byte, len(src))
+	pm.Read(r.Start+mem.Addr(2*page), got)
+	if !bytes.Equal(got, src) {
+		t.Fatal("round trip through DRAM mismatch")
+	}
+}
+
+func TestVRAIDParity(t *testing.T) {
+	pm, _ := setup(t)
+	ra, err := New(RAID, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, entries := mapRegion(t, pm, mem.FirstNF, 4*page)
+	cs, err := ra.Alloc(mem.FirstNF, 1, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := NewVRAID(cs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRand(1)
+	stripe := 4096
+	b0 := make([]byte, stripe)
+	b1 := make([]byte, stripe)
+	rng.Bytes(b0)
+	rng.Bytes(b1)
+	pm.Write(r.Start, b0)
+	pm.Write(r.Start+mem.Addr(page), b1)
+	if err := vr.ParityBuffer(pm, []tlb.VAddr{0, tlb.VAddr(page)}, stripe, tlb.VAddr(2*page)); err != nil {
+		t.Fatal(err)
+	}
+	parity := make([]byte, stripe)
+	pm.Read(r.Start+mem.Addr(2*page), parity)
+	for i := range parity {
+		if parity[i] != b0[i]^b1[i] {
+			t.Fatalf("parity wrong at %d", i)
+		}
+	}
+}
+
+func TestUnboundClusterRefusesWork(t *testing.T) {
+	pm, a := setup(t)
+	auto, _ := ac.Compile([][]byte{[]byte("x")})
+	v, err := NewVDPI(a.clusters[0], auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ScanBuffer(pm, 0, 4); err == nil {
+		t.Fatal("unbound cluster scanned memory")
+	}
+}
+
+func TestThroughputModelShape(t *testing.T) {
+	p := DefaultDPIPerf()
+	const reqs = 2000
+	// More threads help large frames.
+	big16 := SimulateThroughput(p, 16, 9000, reqs)
+	big48 := SimulateThroughput(p, 48, 9000, reqs)
+	if big48 < 2.5*big16 {
+		t.Fatalf("9KB frames: 48 threads %.0f vs 16 threads %.0f — should scale ~3x", big48, big16)
+	}
+	// Small frames are dispatcher-bound: threads help much less.
+	small16 := SimulateThroughput(p, 16, 64, reqs)
+	small48 := SimulateThroughput(p, 48, 64, reqs)
+	if small48 > 1.5*small16 {
+		t.Fatalf("64B frames: 48 threads %.0f vs 16 threads %.0f — dispatcher should cap", small48, small16)
+	}
+	// Larger frames are always slower in pps.
+	if big16 >= small16 {
+		t.Fatal("9KB frames faster than 64B frames?")
+	}
+	// Absolute calibration: 64B at 16+ threads lands near the paper's
+	// ~1.1-1.2 Mpps ceiling.
+	if m := Mpps(small48); m < 0.9 || m > 1.4 {
+		t.Fatalf("64B/48thr = %.2f Mpps, want ~1.2", m)
+	}
+}
+
+func TestThroughputDegenerate(t *testing.T) {
+	p := DefaultDPIPerf()
+	if SimulateThroughput(p, 0, 64, 10) != 0 || SimulateThroughput(p, 4, 64, 0) != 0 {
+		t.Fatal("degenerate inputs should yield 0")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if DPI.String() != "DPI" || ZIP.String() != "ZIP" || RAID.String() != "RAID" {
+		t.Fatal("kind names")
+	}
+	if TLBEntriesFor(DPI) != 54 || TLBEntriesFor(ZIP) != 70 || TLBEntriesFor(RAID) != 5 {
+		t.Fatal("Table 7 TLB sizes")
+	}
+}
+
+func TestVCryptoSealOpenThroughDRAM(t *testing.T) {
+	pm, _ := setup(t)
+	ca, err := New(CRYPTO, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CRYPTO.String() != "CRYPTO" || TLBEntriesFor(CRYPTO) == 0 {
+		t.Fatal("CRYPTO kind not registered")
+	}
+	r, entries := mapRegion(t, pm, mem.FirstNF, 4*page)
+	cs, err := ca.Alloc(mem.FirstNF, 1, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := [32]byte{1, 2, 3}
+	vc, err := NewVCrypto(cs[0], key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("tenant tls record, confidential")
+	pm.Write(r.Start, msg)
+	nonce := make([]byte, 12)
+	ctLen, err := vc.SealBuffer(pm, 0, len(msg), nonce, tlb.VAddr(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctLen != len(msg)+16 {
+		t.Fatalf("ciphertext length %d", ctLen)
+	}
+	// Ciphertext differs from plaintext in DRAM.
+	ct := make([]byte, ctLen)
+	pm.Read(r.Start+mem.Addr(page), ct)
+	if bytes.Contains(ct, msg) {
+		t.Fatal("plaintext visible in ciphertext buffer")
+	}
+	ptLen, err := vc.OpenBuffer(pm, tlb.VAddr(page), ctLen, nonce, tlb.VAddr(2*page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, ptLen)
+	pm.Read(r.Start+mem.Addr(2*page), got)
+	if !bytes.Equal(got, msg) {
+		t.Fatal("round trip mismatch")
+	}
+	// Tampering detected.
+	pm.Write(r.Start+mem.Addr(page), []byte{0xFF})
+	if _, err := vc.OpenBuffer(pm, tlb.VAddr(page), ctLen, nonce, tlb.VAddr(2*page)); err == nil {
+		t.Fatal("tampered ciphertext accepted")
+	}
+	// Wrong nonce size rejected.
+	if _, err := vc.SealBuffer(pm, 0, 4, nonce[:8], tlb.VAddr(page)); err == nil {
+		t.Fatal("short nonce accepted")
+	}
+}
+
+func TestVCryptoWrongKind(t *testing.T) {
+	dpi, _ := New(DPI, 16, 16)
+	if _, err := NewVCrypto(dpi.clusters[0], [32]byte{}); err == nil {
+		t.Fatal("DPI cluster accepted as vCrypto")
+	}
+}

@@ -1,0 +1,112 @@
+package accel
+
+import (
+	"fmt"
+
+	"snic/internal/ac"
+	"snic/internal/lz"
+	"snic/internal/mem"
+	"snic/internal/raidx"
+	"snic/internal/tlb"
+)
+
+// VDPI is a virtual DPI unit: a DPI cluster plus the owning NF's compiled
+// automaton. All payload accesses go through the cluster's locked TLB, so
+// a vDPI can only scan (and a hostile NF can only point it at) memory the
+// owning NF maps — the confidentiality/integrity property of Figure 3b.
+type VDPI struct {
+	Cluster *Cluster
+	Auto    *ac.Automaton
+}
+
+// NewVDPI wraps a DPI cluster.
+func NewVDPI(c *Cluster, auto *ac.Automaton) (*VDPI, error) {
+	if c.Kind != DPI {
+		return nil, fmt.Errorf("accel: cluster is %s, not DPI", c.Kind)
+	}
+	return &VDPI{Cluster: c, Auto: auto}, nil
+}
+
+// ScanBuffer scans n bytes at va in the owner's address space.
+func (v *VDPI) ScanBuffer(pm *mem.Physical, va tlb.VAddr, n int) ([]ac.Match, error) {
+	buf, err := v.Cluster.read(pm, va, n)
+	if err != nil {
+		return nil, err
+	}
+	return v.Auto.Scan(buf, nil), nil
+}
+
+// VZIP is a virtual compression unit.
+type VZIP struct {
+	Cluster *Cluster
+}
+
+// NewVZIP wraps a ZIP cluster.
+func NewVZIP(c *Cluster) (*VZIP, error) {
+	if c.Kind != ZIP {
+		return nil, fmt.Errorf("accel: cluster is %s, not ZIP", c.Kind)
+	}
+	return &VZIP{Cluster: c}, nil
+}
+
+// CompressBuffer compresses n bytes at srcVA into dstVA, returning the
+// compressed length. Both buffers must be mapped by the cluster's TLB.
+func (v *VZIP) CompressBuffer(pm *mem.Physical, srcVA tlb.VAddr, n int, dstVA tlb.VAddr) (int, error) {
+	src, err := v.Cluster.read(pm, srcVA, n)
+	if err != nil {
+		return 0, err
+	}
+	comp := lz.Compress(src)
+	if err := v.Cluster.write(pm, dstVA, comp); err != nil {
+		return 0, err
+	}
+	return len(comp), nil
+}
+
+// DecompressBuffer inverts CompressBuffer.
+func (v *VZIP) DecompressBuffer(pm *mem.Physical, srcVA tlb.VAddr, n int, dstVA tlb.VAddr) (int, error) {
+	src, err := v.Cluster.read(pm, srcVA, n)
+	if err != nil {
+		return 0, err
+	}
+	out, err := lz.Decompress(src)
+	if err != nil {
+		return 0, err
+	}
+	if err := v.Cluster.write(pm, dstVA, out); err != nil {
+		return 0, err
+	}
+	return len(out), nil
+}
+
+// VRAID is a virtual parity unit.
+type VRAID struct {
+	Cluster *Cluster
+}
+
+// NewVRAID wraps a RAID cluster.
+func NewVRAID(c *Cluster) (*VRAID, error) {
+	if c.Kind != RAID {
+		return nil, fmt.Errorf("accel: cluster is %s, not RAID", c.Kind)
+	}
+	return &VRAID{Cluster: c}, nil
+}
+
+// ParityBuffer XORs the stripe blocks at blockVAs (each stripeLen bytes)
+// into parityVA — the scatter-gather operation behind Table 7's SGP
+// buffers.
+func (v *VRAID) ParityBuffer(pm *mem.Physical, blockVAs []tlb.VAddr, stripeLen int, parityVA tlb.VAddr) error {
+	blocks := make([][]byte, len(blockVAs))
+	for i, va := range blockVAs {
+		b, err := v.Cluster.read(pm, va, stripeLen)
+		if err != nil {
+			return err
+		}
+		blocks[i] = b
+	}
+	parity := make([]byte, stripeLen)
+	if err := raidx.Stripe(blocks, parity); err != nil {
+		return err
+	}
+	return v.Cluster.write(pm, parityVA, parity)
+}

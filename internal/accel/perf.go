@@ -1,0 +1,70 @@
+package accel
+
+// Figure 8's timing model: a cluster's frontend scheduler dispatches
+// requests to hardware threads one at a time (a serialized dispatch cost),
+// and each thread then walks the DPI graph at a per-byte cost dominated by
+// graph-cache misses to DRAM. Small frames saturate the dispatcher; large
+// frames saturate the threads — which is exactly the crossover Figure 8
+// shows ("as packet sizes grow ... a function benefits from access to
+// more hardware threads").
+//
+// Calibration (1.2 GHz clock, matching the Marvell part the paper
+// stress-tests): dispatch ≈ 1000 cycles/request; per-request setup
+// ≈ 15000 cycles (graph root working set refill); scan ≈ 15.6 cycles/byte.
+
+// PerfParams calibrates the DPI throughput model.
+type PerfParams struct {
+	ClockHz        float64
+	DispatchCycles uint64  // serialized frontend cost per request
+	SetupCycles    uint64  // per-request thread-side fixed cost
+	CyclesPerByte  float64 // graph-walk cost per payload byte
+}
+
+// DefaultDPIPerf returns the Figure 8 calibration.
+func DefaultDPIPerf() PerfParams {
+	return PerfParams{
+		ClockHz:        1.2e9,
+		DispatchCycles: 1000,
+		SetupCycles:    15000,
+		CyclesPerByte:  15.6,
+	}
+}
+
+// SimulateThroughput runs a discrete-event closed-loop simulation of one
+// cluster with `threads` hardware threads processing `requests` frames of
+// `frameBytes` each, returning throughput in packets/second. Work is
+// always available (the 16 programmable cores of §C generate frames
+// faster than the accelerator drains them).
+func SimulateThroughput(p PerfParams, threads int, frameBytes int, requests int) float64 {
+	if threads <= 0 || requests <= 0 {
+		return 0
+	}
+	service := p.SetupCycles + uint64(float64(frameBytes)*p.CyclesPerByte)
+	threadFree := make([]uint64, threads)
+	var dispatcherFree uint64
+	var finish uint64
+	for r := 0; r < requests; r++ {
+		// Pick the earliest-free thread.
+		best := 0
+		for i := 1; i < threads; i++ {
+			if threadFree[i] < threadFree[best] {
+				best = i
+			}
+		}
+		start := threadFree[best]
+		if dispatcherFree > start {
+			start = dispatcherFree
+		}
+		dispatcherFree = start + p.DispatchCycles
+		done := start + p.DispatchCycles + service
+		threadFree[best] = done
+		if done > finish {
+			finish = done
+		}
+	}
+	seconds := float64(finish) / p.ClockHz
+	return float64(requests) / seconds
+}
+
+// Mpps converts packets/second to millions of packets/second.
+func Mpps(pps float64) float64 { return pps / 1e6 }

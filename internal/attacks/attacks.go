@@ -1,0 +1,506 @@
+// Package attacks reproduces the paper's concrete attacks (§3.3) against
+// the commodity baseline models, and re-runs each against the S-NIC
+// device to show the defense:
+//
+//   - Packet corruption (LiquidIO): scan the shared buffer allocator's
+//     metadata via xkphys, find the victim NAT's packet buffers, corrupt
+//     headers.
+//   - DPI ruleset theft (LiquidIO): locate another function's ruleset
+//     through the same metadata and copy it out.
+//   - IO-bus denial of service (Agilio): saturate the unarbitrated bus
+//     until the victim starves and the watchdog declares a hard crash.
+//   - Cache prime+probe (any shared-L2 NIC): recover a victim's secret-
+//     dependent access pattern from eviction timing.
+//
+// Every attack returns a Result, so the test suite and cmd/snicattack can
+// assert "succeeds on baseline, blocked on S-NIC".
+package attacks
+
+import (
+	"bytes"
+	"fmt"
+
+	"snic/internal/baseline"
+	"snic/internal/bus"
+	"snic/internal/cache"
+	"snic/internal/mem"
+	"snic/internal/pkt"
+	"snic/internal/sim"
+	"snic/internal/snic"
+	"snic/internal/tlb"
+)
+
+// Result reports one attack run.
+type Result struct {
+	Name      string
+	Target    string
+	Succeeded bool
+	Detail    string
+}
+
+func (r Result) String() string {
+	verdict := "BLOCKED"
+	if r.Succeeded {
+		verdict = "SUCCEEDED"
+	}
+	return fmt.Sprintf("%-22s vs %-9s %s  (%s)", r.Name, r.Target, verdict, r.Detail)
+}
+
+// victimOwner / attackerOwner label the two tenants in the demos.
+const (
+	victimOwner   = mem.FirstNF
+	attackerOwner = mem.FirstNF + 1
+)
+
+// PacketCorruptionLiquidIO runs the §3.3 MazuNAT packet-corruption attack.
+func PacketCorruptionLiquidIO(l *baseline.LiquidIO) (Result, error) {
+	res := Result{Name: "packet-corruption", Target: "LiquidIO"}
+	// Victim: a NAT holding a packet in a shared-pool buffer.
+	victim := pkt.Packet{
+		Tuple: pkt.FiveTuple{
+			SrcIP: 0x0A000001, DstIP: 0x08080808,
+			SrcPort: 5555, DstPort: 80, Proto: pkt.ProtoTCP,
+		},
+		Payload: []byte("pre-translation payload"),
+	}
+	frame := victim.Marshal()
+	buf, err := l.AllocBuf(victimOwner, uint32(len(frame)), baseline.TagPacket)
+	if err != nil {
+		return res, err
+	}
+	if err := l.Memory().Write(buf, frame); err != nil {
+		return res, err
+	}
+
+	// Attacker: scan allocator metadata (plain DRAM reads via xkphys),
+	// find foreign packet buffers, flip header bytes.
+	for i := 0; i < l.MetaLen(); i++ {
+		meta, err := l.ReadMeta(i)
+		if err != nil {
+			return res, err
+		}
+		if meta.Owner == attackerOwner || meta.Tag != baseline.TagPacket {
+			continue
+		}
+		// Corrupt the IPv4 destination address inside the victim's frame.
+		evil := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+		if err := l.XkphysWrite(attackerOwner, meta.Addr+pkt.EthHeaderLen+16, evil); err != nil {
+			return res, err
+		}
+	}
+
+	// Victim later reads its packet back: the NAT translation is wrecked.
+	got := make([]byte, len(frame))
+	if err := l.Memory().Read(buf, got); err != nil {
+		return res, err
+	}
+	if _, err := pkt.Parse(got); err != nil {
+		res.Succeeded = true
+		res.Detail = fmt.Sprintf("victim frame no longer parses: %v", err)
+		return res, nil
+	}
+	if !bytes.Equal(got, frame) {
+		res.Succeeded = true
+		res.Detail = "victim frame bytes modified"
+	}
+	return res, nil
+}
+
+// RulesetTheftLiquidIO runs the §3.3 DPI ruleset-stealing attack.
+func RulesetTheftLiquidIO(l *baseline.LiquidIO, ruleset []byte) (Result, error) {
+	res := Result{Name: "dpi-ruleset-theft", Target: "LiquidIO"}
+	buf, err := l.AllocBuf(victimOwner, uint32(len(ruleset)), baseline.TagDPIRule)
+	if err != nil {
+		return res, err
+	}
+	if err := l.Memory().Write(buf, ruleset); err != nil {
+		return res, err
+	}
+	// Attacker walks the metadata for rule buffers it does not own.
+	for i := 0; i < l.MetaLen(); i++ {
+		meta, err := l.ReadMeta(i)
+		if err != nil {
+			return res, err
+		}
+		if meta.Owner == attackerOwner || meta.Tag != baseline.TagDPIRule {
+			continue
+		}
+		stolen := make([]byte, meta.Len)
+		if err := l.XkphysRead(attackerOwner, meta.Addr, stolen); err != nil {
+			return res, err
+		}
+		if bytes.Equal(stolen, ruleset) {
+			res.Succeeded = true
+			res.Detail = fmt.Sprintf("exfiltrated %d-byte ruleset (threat signatures exposed)", len(stolen))
+			return res, nil
+		}
+	}
+	res.Detail = "ruleset not located"
+	return res, nil
+}
+
+// TheftSNIC attempts the same data theft against an S-NIC: the attacker
+// NF scans every address its locked TLB can name and also asks the
+// management path; neither reaches the victim's secret.
+func TheftSNIC(d *snic.Device, victimID, attackerID snic.ID, secret []byte) (Result, error) {
+	res := Result{Name: "dpi-ruleset-theft", Target: "S-NIC"}
+	if err := d.NFWrite(victimID, 4096, secret); err != nil {
+		return res, err
+	}
+	att := d.NF(attackerID)
+	// 1. Exhaustive scan of the attacker's own mapped address space.
+	span := att.TLB.TotalMapped()
+	probe := make([]byte, len(secret))
+	for va := uint64(0); va+uint64(len(secret)) <= span; va += 64 {
+		if err := d.NFRead(attackerID, tlb.VAddr(va), probe); err != nil {
+			continue
+		}
+		if bytes.Equal(probe, secret) {
+			res.Succeeded = true
+			res.Detail = fmt.Sprintf("secret visible at attacker VA %#x", va)
+			return res, nil
+		}
+	}
+	// 2. Any VA beyond the mapping is a fatal miss, not a window.
+	if err := d.NFRead(attackerID, tlb.VAddr(span+4096), probe); err == nil {
+		res.Succeeded = true
+		res.Detail = "attacker read beyond its reservation"
+		return res, nil
+	}
+	// 3. The management core cannot map the victim's pages either.
+	v := d.NF(victimID)
+	if err := d.MgmtMap(0, v.Mem.Start, d.Memory().FrameSize()); err == nil {
+		res.Succeeded = true
+		res.Detail = "NIC OS mapped tenant memory"
+		return res, nil
+	}
+	res.Detail = "TLB lock + denylist leave no path to the secret"
+	return res, nil
+}
+
+// CorruptionSNIC attempts cross-NF packet corruption on an S-NIC.
+func CorruptionSNIC(d *snic.Device, victimID, attackerID snic.ID) (Result, error) {
+	res := Result{Name: "packet-corruption", Target: "S-NIC"}
+	frame := (&pkt.Packet{
+		Tuple:   pkt.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 80, Proto: pkt.ProtoTCP},
+		Payload: []byte("victim packet"),
+	}).Marshal()
+	if err := d.NFWrite(victimID, 0, frame); err != nil {
+		return res, err
+	}
+	att := d.NF(attackerID)
+	evil := []byte{0xDE, 0xAD}
+	// The attacker writes everywhere it can (its own memory) and tries
+	// beyond; then we check the victim's frame is untouched.
+	if err := d.NFWrite(attackerID, tlb.VAddr(att.TLB.TotalMapped()+64), evil); err == nil {
+		res.Succeeded = true
+		res.Detail = "attacker wrote outside its reservation"
+		return res, nil
+	}
+	got := make([]byte, len(frame))
+	if err := d.NFRead(victimID, 0, got); err != nil {
+		return res, err
+	}
+	if !bytes.Equal(got, frame) {
+		res.Succeeded = true
+		res.Detail = "victim frame modified"
+		return res, nil
+	}
+	res.Detail = "victim frame intact; single-owner RAM held"
+	return res, nil
+}
+
+// BusDoSAgilio runs the §3.3 semaphore-loop bus DoS: the attacker island
+// issues back-to-back transactions; the victim's next transaction waits
+// past the watchdog and the NIC hard-crashes.
+func BusDoSAgilio(a *baseline.Agilio, attackOps int) (Result, error) {
+	res := Result{Name: "io-bus-dos", Target: "Agilio"}
+	now := uint64(0)
+	for i := 0; i < attackOps; i++ {
+		done, err := a.BusOp(0, now)
+		if err != nil {
+			// The attacker itself tripped the watchdog — still a crash.
+			res.Succeeded = true
+			res.Detail = fmt.Sprintf("NIC crashed after %d attacker ops", i)
+			return res, nil
+		}
+		// test_subsat loop: reissue immediately, ignoring completion.
+		_ = done
+	}
+	if _, err := a.BusOp(1, 0); err != nil {
+		res.Succeeded = true
+		res.Detail = "victim op tripped the watchdog; power cycle required"
+		return res, nil
+	}
+	if a.Crashed() {
+		res.Succeeded = true
+		res.Detail = "NIC crashed"
+	} else {
+		res.Detail = "victim still served"
+	}
+	return res, nil
+}
+
+// SecureWorldSnoopBlueField shows the §3.2 BlueField gap: the secure-world
+// management OS reads a trustlet's private state directly.
+func SecureWorldSnoopBlueField(b *baseline.BlueField, secret []byte) (Result, error) {
+	res := Result{Name: "secure-os-snooping", Target: "BlueField"}
+	r, err := b.CreateTrustlet(victimOwner, uint64(len(secret)))
+	if err != nil {
+		return res, err
+	}
+	if err := b.SecureWrite(r.Start, secret); err != nil {
+		return res, err
+	}
+	// Normal world is blocked (TrustZone works as advertised)...
+	buf := make([]byte, len(secret))
+	if err := b.NormalRead(r.Start, buf); err == nil {
+		return res, fmt.Errorf("normal world read secure memory")
+	}
+	// ...but the secure-world OS reads the tenant's secret wholesale.
+	if err := b.SecureRead(r.Start, buf); err != nil {
+		return res, err
+	}
+	if bytes.Equal(buf, secret) {
+		res.Succeeded = true
+		res.Detail = "secure-world management OS read tenant secret"
+	}
+	return res, nil
+}
+
+// PrimeProbe runs a cache prime+probe side channel: the victim touches
+// one of two cache sets depending on each secret bit; the attacker primes
+// both sets, lets the victim run, then probes and guesses the bit from
+// which of its lines were evicted. It returns the attacker's accuracy
+// over the given number of secret bits (≈1.0 on a shared cache, ≈0.5 —
+// pure guessing — under S-NIC static partitioning).
+func PrimeProbe(policy cache.Policy, bits int, seed uint64) (float64, error) {
+	l2, err := cache.New(cache.Config{
+		Name: "L2", Size: 64 << 10, LineSize: 64, Ways: 4,
+		Policy: policy, Domains: 2,
+	})
+	if err != nil {
+		return 0, err
+	}
+	const (
+		attacker = 0
+		victimD  = 1
+	)
+	setStride := uint64(l2.Sets()) * 64
+	// Victim's two secret-dependent lines land in sets 3 and 7.
+	victimLine := func(bit int) mem.Addr {
+		if bit == 0 {
+			return mem.Addr(3 * 64)
+		}
+		return mem.Addr(7 * 64)
+	}
+	// Attacker's priming lines for those sets (different tags).
+	primeAddrs := func(set int) []mem.Addr {
+		out := make([]mem.Addr, l2.Ways())
+		for w := range out {
+			out[w] = mem.Addr(uint64(set)*64 + uint64(w+1)*setStride + (1 << 30))
+		}
+		return out
+	}
+	rng := sim.NewRand(seed)
+	coin := rng.Fork() // tie-break coin, decorrelated from the secret stream
+	correct := 0
+	for i := 0; i < bits; i++ {
+		secret := rng.Intn(2)
+		// Prime.
+		for _, set := range []int{3, 7} {
+			for _, a := range primeAddrs(set) {
+				l2.Access(a, attacker, false)
+			}
+		}
+		// Victim runs.
+		l2.Access(victimLine(secret), victimD, false)
+		// Probe: count misses per set.
+		misses := map[int]int{}
+		for _, set := range []int{3, 7} {
+			for _, a := range primeAddrs(set) {
+				if !l2.Access(a, attacker, false) {
+					misses[set]++
+				}
+			}
+		}
+		guess := 0
+		switch {
+		case misses[7] > misses[3]:
+			guess = 1
+		case misses[7] == misses[3]:
+			guess = coin.Intn(2) // no signal: coin flip
+		}
+		if guess == secret {
+			correct++
+		}
+	}
+	return float64(correct) / float64(bits), nil
+}
+
+// CryptoContentionAgilio measures the shared-crypto side channel: the
+// attacker issues crypto ops and infers from its own queueing delay
+// whether the victim used the accelerator in each round. Returns the
+// attacker's accuracy over rounds.
+func CryptoContentionAgilio(a *baseline.Agilio, rounds int, seed uint64) float64 {
+	rng := sim.NewRand(seed)
+	correct := 0
+	now := uint64(0)
+	for i := 0; i < rounds; i++ {
+		victimActive := rng.Intn(2) == 1
+		if victimActive {
+			a.CryptoOp(now)
+		}
+		done, waited := a.CryptoOp(now)
+		guess := waited > 0
+		if guess == victimActive {
+			correct++
+		}
+		now = done + 10000 // let the accelerator drain between rounds
+	}
+	return float64(correct) / float64(rounds)
+}
+
+// ControlledChannel reproduces the controlled-channel attack family the
+// paper cites ([121], Xu et al.): an OS that demand-pages an isolated
+// computation learns its secret-dependent page-access sequence from the
+// fault stream. On a commodity NIC in SE-UM mode the kernel handles every
+// NF TLB miss in software, so the channel exists; on S-NIC the locked TLB
+// covers the whole reservation up front and no runtime fault ever reaches
+// the NIC OS — a miss simply kills the function (§4.2).
+//
+// The victim reads page (2*i + bit) for each secret bit i. Returns the
+// fraction of bits the "OS" recovers: 1.0 on the paged baseline, 0 under
+// S-NIC (it observes nothing at all).
+func ControlledChannel(snicMode bool, secret []byte) float64 {
+	nPages := 2 * len(secret) * 8
+	const page = 1 << 12
+
+	if snicMode {
+		// S-NIC: every page mapped and locked at launch. The victim runs;
+		// the OS fault log stays empty.
+		bank := tlb.NewBank(nPages)
+		for p := 0; p < nPages; p++ {
+			bank.Install(tlb.Entry{
+				VA: tlb.VAddr(p * page), PA: mem.Addr(p * page),
+				Size: page, Perm: tlb.PermRW,
+			})
+		}
+		bank.Lock()
+		faults := 0
+		for i := 0; i < len(secret)*8; i++ {
+			bit := int(secret[i/8]>>(i%8)) & 1
+			if _, err := bank.Translate(tlb.VAddr((2*i+bit)*page), tlb.PermRead); err != nil {
+				faults++ // would be fatal; also never happens
+			}
+		}
+		_ = faults
+		return 0 // the OS observed no fault sequence to decode
+	}
+
+	// Baseline SE-UM: the OS maps pages on demand and — as the attack
+	// does — unmaps everything between victim steps so each access
+	// faults. The fault address IS the secret.
+	osView := make(map[int]bool) // pages currently mapped
+	var faultLog []int
+	access := func(pageIdx int) {
+		if !osView[pageIdx] {
+			faultLog = append(faultLog, pageIdx) // OS fault handler runs
+			osView[pageIdx] = true
+		}
+	}
+	recovered := make([]byte, len(secret))
+	for i := 0; i < len(secret)*8; i++ {
+		// OS "controls the channel": revoke all mappings before the step.
+		osView = make(map[int]bool)
+		bit := int(secret[i/8]>>(i%8)) & 1
+		access(2*i + bit)
+		// Decode from the fault stream.
+		last := faultLog[len(faultLog)-1]
+		if last%2 == 1 {
+			recovered[i/8] |= 1 << (i % 8)
+		}
+	}
+	match := 0
+	for i := 0; i < len(secret)*8; i++ {
+		if (recovered[i/8]>>(i%8))&1 == (secret[i/8]>>(i%8))&1 {
+			match++
+		}
+	}
+	return float64(match) / float64(len(secret)*8)
+}
+
+// Watermark runs the flow-watermarking attack of Bates et al. [11], which
+// §4.5 credits temporal partitioning with eliminating: a sender "marks" a
+// co-resident victim's traffic by modulating shared-bus pressure in a
+// known bit pattern, and a downstream observer recovers the pattern from
+// the victim's per-window packet timings. Returns the decoder's bit
+// accuracy: ~1.0 over a FIFO bus, ~0.5 (chance) under temporal
+// partitioning, where the victim's service schedule is independent of the
+// attacker.
+func Watermark(mk func(domains int) bus.Arbiter, bits int, seed uint64) float64 {
+	arb := mk(2)
+	rng := sim.NewRand(seed)
+	coin := rng.Fork()
+	const (
+		opsPerWindow = 40
+		opGap        = 30 // victim inter-op spacing (cycles)
+		dur          = 8
+	)
+	var latencies []uint64
+	pattern := make([]int, bits)
+	vnow, anow := uint64(0), uint64(0)
+	for w := 0; w < bits; w++ {
+		pattern[w] = rng.Intn(2)
+		start := vnow
+		for op := 0; op < opsPerWindow; op++ {
+			if pattern[w] == 1 {
+				// Marked window: the attacker floods between victim ops.
+				for j := 0; j < 3; j++ {
+					if anow < vnow {
+						anow = vnow
+					}
+					anow = arb.Request(1, anow, dur) + dur
+				}
+			}
+			g := arb.Request(0, vnow, dur)
+			vnow = g + dur + opGap
+		}
+		latencies = append(latencies, vnow-start)
+		// Inter-window guard gap lets the bus drain so marks don't smear
+		// into the next window (the attack paper synchronizes windows the
+		// same way).
+		vnow += 2000
+		if anow < vnow {
+			anow = vnow
+		}
+	}
+	// Decode: threshold at the midpoint of the observed latency range.
+	sorted := append([]uint64(nil), latencies...)
+	sortU64(sorted)
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	threshold := lo + (hi-lo)/2
+	correct := 0
+	for w, lat := range latencies {
+		guess := 0
+		switch {
+		case lat > threshold:
+			guess = 1
+		case lat == threshold:
+			// No spread at all (non-interfering bus): pure guessing.
+			guess = coin.Intn(2)
+		}
+		if guess == pattern[w] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(bits)
+}
+
+func sortU64(x []uint64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package attacks
+
+import (
+	"testing"
+
+	"snic/internal/bus"
+
+	"snic/internal/attest"
+	"snic/internal/baseline"
+	"snic/internal/cache"
+	"snic/internal/sim"
+	"snic/internal/snic"
+	"snic/internal/trace"
+)
+
+func newLiquidIO(t *testing.T) *baseline.LiquidIO {
+	t.Helper()
+	l, err := baseline.NewLiquidIO(16<<20, baseline.SES, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func newSNICPair(t *testing.T) (*snic.Device, snic.ID, snic.ID) {
+	t.Helper()
+	v, _ := attest.NewVendor("V", nil)
+	d, err := snic.New(snic.Config{Cores: 4, MemBytes: 32 << 20}, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(mask uint64) snic.ID {
+		rep, err := d.Launch(snic.LaunchSpec{
+			CoreMask: mask, Image: []byte("nf"), MemBytes: 1 << 20, DMACore: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.ID
+	}
+	return d, mk(0b01), mk(0b10)
+}
+
+func TestPacketCorruptionSucceedsOnLiquidIO(t *testing.T) {
+	res, err := PacketCorruptionLiquidIO(newLiquidIO(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded {
+		t.Fatalf("attack blocked on commodity NIC: %s", res.Detail)
+	}
+}
+
+func TestRulesetTheftSucceedsOnLiquidIO(t *testing.T) {
+	rng := sim.NewRand(1)
+	var ruleset []byte
+	for _, p := range trace.DPIPatterns(rng, 100) {
+		ruleset = append(ruleset, p...)
+		ruleset = append(ruleset, '\n')
+	}
+	res, err := RulesetTheftLiquidIO(newLiquidIO(t), ruleset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded {
+		t.Fatalf("theft blocked on commodity NIC: %s", res.Detail)
+	}
+}
+
+func TestTheftBlockedOnSNIC(t *testing.T) {
+	d, victim, attacker := newSNICPair(t)
+	res, err := TheftSNIC(d, victim, attacker, []byte("THREAT-SIGNATURE-DB-v7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded {
+		t.Fatalf("S-NIC leaked the secret: %s", res.Detail)
+	}
+}
+
+func TestCorruptionBlockedOnSNIC(t *testing.T) {
+	d, victim, attacker := newSNICPair(t)
+	res, err := CorruptionSNIC(d, victim, attacker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded {
+		t.Fatalf("S-NIC allowed corruption: %s", res.Detail)
+	}
+}
+
+func TestBusDoSCrashesAgilio(t *testing.T) {
+	a, err := baseline.NewAgilio(16<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BusDoSAgilio(a, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded {
+		t.Fatalf("DoS failed on unarbitrated bus: %s", res.Detail)
+	}
+}
+
+func TestSecureWorldSnoopsBlueField(t *testing.T) {
+	b, err := baseline.NewBlueField(16<<20, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SecureWorldSnoopBlueField(b, []byte("tenant tls keys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded {
+		t.Fatal("secure world failed to read tenant state (model broken)")
+	}
+}
+
+func TestPrimeProbeLeaksOnSharedCache(t *testing.T) {
+	acc, err := PrimeProbe(cache.Shared, 256, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("shared-cache prime+probe accuracy %.2f, want ~1.0", acc)
+	}
+}
+
+func TestPrimeProbeBlindOnStaticPartition(t *testing.T) {
+	acc, err := PrimeProbe(cache.Static, 256, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.35 || acc > 0.65 {
+		t.Fatalf("partitioned-cache prime+probe accuracy %.2f, want ~0.5 (chance)", acc)
+	}
+}
+
+func TestCryptoContentionLeaks(t *testing.T) {
+	a, _ := baseline.NewAgilio(16<<20, 2)
+	if acc := CryptoContentionAgilio(a, 200, 7); acc < 0.95 {
+		t.Fatalf("crypto contention accuracy %.2f, want ~1.0", acc)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Name: "x", Target: "y", Succeeded: true, Detail: "d"}
+	if r.String() == "" || (Result{}).String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestControlledChannelLeaksOnPagedBaseline(t *testing.T) {
+	if acc := ControlledChannel(false, []byte("page fault oracle")); acc != 1.0 {
+		t.Fatalf("baseline recovery = %v, want 1.0", acc)
+	}
+}
+
+func TestControlledChannelClosedOnSNIC(t *testing.T) {
+	if acc := ControlledChannel(true, []byte("page fault oracle")); acc != 0 {
+		t.Fatalf("S-NIC recovery = %v, want 0 (no fault stream)", acc)
+	}
+}
+
+func TestWatermarkDetectableOnFIFO(t *testing.T) {
+	acc := Watermark(func(int) bus.Arbiter { return bus.NewFIFO() }, 64, 5)
+	if acc < 0.9 {
+		t.Fatalf("FIFO watermark accuracy %.2f, want ~1.0", acc)
+	}
+}
+
+func TestWatermarkErasedByTemporalPartitioning(t *testing.T) {
+	acc := Watermark(func(n int) bus.Arbiter { return bus.NewTemporal(n, 60, 10) }, 64, 5)
+	if acc < 0.3 || acc > 0.7 {
+		t.Fatalf("temporal watermark accuracy %.2f, want ~0.5 (chance)", acc)
+	}
+}

@@ -1,0 +1,157 @@
+// Package baseline models the three commodity smart-NIC architectures of
+// §3.2, with exactly the weaknesses §3.3 exploits:
+//
+//   - LiquidIO (SE-S / SE-UM): every MIPS core can address all physical
+//     memory through xkphys, and the shared packet-buffer allocator keeps
+//     its metadata in ordinary DRAM — so any function can find and touch
+//     any other function's buffers.
+//   - Agilio: raw physical addressing from all islands, shared
+//     cryptographic accelerators whose latency leaks co-tenant activity,
+//     and an internal bus with no bandwidth reservations (the DoS target).
+//   - BlueField: TrustZone gives normal/secure world separation, but the
+//     secure-world management OS can read every function's memory, and
+//     nothing isolates microarchitectural state.
+//
+// These models share the same substrates as the S-NIC device, so the
+// attack suite (internal/attacks) can run the identical attack against
+// both and show it succeed here and fail there.
+package baseline
+
+import (
+	"fmt"
+
+	"snic/internal/mem"
+)
+
+// Mode selects the LiquidIO execution model (§3.2).
+type Mode int
+
+// LiquidIO execution modes.
+const (
+	SES  Mode = iota // bootloader-installed NFs, all privileged, xkphys for all
+	SEUM             // Linux processes; xkphys optional per configuration
+)
+
+// BufMeta is one entry of the shared buffer allocator's metadata table.
+// On a real LiquidIO these records live in ordinary DRAM at well-known
+// addresses, which is precisely what the packet-corruption and
+// ruleset-theft attacks scan.
+type BufMeta struct {
+	Owner mem.Owner
+	Addr  mem.Addr
+	Len   uint32
+	Tag   uint32 // allocator cookie ("what kind of buffer")
+}
+
+// Buffer tags used by the attack demos.
+const (
+	TagPacket  uint32 = 0x504B5431 // "PKT1"
+	TagDPIRule uint32 = 0x52554C31 // "RUL1"
+	TagGeneric uint32 = 0x42554631 // "BUF1"
+)
+
+// metaEntryBytes is the serialized size of a BufMeta record in DRAM.
+const metaEntryBytes = 24
+
+// LiquidIO is the shared-memory commodity NIC.
+type LiquidIO struct {
+	pm       *mem.Physical
+	mode     Mode
+	xkphysOn bool
+	metaBase mem.Addr
+	metaCap  int
+	metaLen  int
+	heapNext mem.Addr
+}
+
+// NewLiquidIO builds the NIC with the given DRAM size. In SES mode (and
+// SEUM with xkphys enabled) every function gets raw physical access.
+func NewLiquidIO(memBytes uint64, mode Mode, xkphys bool) (*LiquidIO, error) {
+	pm, err := mem.NewPhysical(memBytes, 64<<10)
+	if err != nil {
+		return nil, err
+	}
+	l := &LiquidIO{
+		pm: pm, mode: mode, xkphysOn: xkphys || mode == SES,
+		metaBase: 0, metaCap: 1024,
+		heapNext: mem.Addr(uint64(1024) * metaEntryBytes),
+	}
+	return l, nil
+}
+
+// Memory exposes the DRAM.
+func (l *LiquidIO) Memory() *mem.Physical { return l.pm }
+
+// AllocBuf carves a buffer for owner from the shared pool and records its
+// metadata in DRAM, exactly like the buffer allocator the attacks scan.
+func (l *LiquidIO) AllocBuf(owner mem.Owner, n uint32, tag uint32) (mem.Addr, error) {
+	if l.metaLen >= l.metaCap {
+		return 0, fmt.Errorf("baseline: allocator metadata full")
+	}
+	addr := l.heapNext
+	if uint64(addr)+uint64(n) > l.pm.Size() {
+		return 0, fmt.Errorf("baseline: out of buffer memory")
+	}
+	l.heapNext += mem.Addr((uint64(n) + 63) &^ 63)
+	meta := BufMeta{Owner: owner, Addr: addr, Len: n, Tag: tag}
+	if err := l.writeMeta(l.metaLen, meta); err != nil {
+		return 0, err
+	}
+	l.metaLen++
+	return addr, nil
+}
+
+func (l *LiquidIO) writeMeta(i int, m BufMeta) error {
+	base := l.metaBase + mem.Addr(i*metaEntryBytes)
+	if err := l.pm.WriteU64(base, uint64(m.Owner)); err != nil {
+		return err
+	}
+	if err := l.pm.WriteU64(base+8, uint64(m.Addr)); err != nil {
+		return err
+	}
+	return l.pm.WriteU64(base+16, uint64(m.Len)|uint64(m.Tag)<<32)
+}
+
+// ReadMeta decodes metadata entry i — note this needs nothing more than
+// DRAM reads, so ANY core with xkphys can do it.
+func (l *LiquidIO) ReadMeta(i int) (BufMeta, error) {
+	base := l.metaBase + mem.Addr(i*metaEntryBytes)
+	owner, err := l.pm.ReadU64(base)
+	if err != nil {
+		return BufMeta{}, err
+	}
+	addr, err := l.pm.ReadU64(base + 8)
+	if err != nil {
+		return BufMeta{}, err
+	}
+	lenTag, err := l.pm.ReadU64(base + 16)
+	if err != nil {
+		return BufMeta{}, err
+	}
+	return BufMeta{
+		Owner: mem.Owner(owner),
+		Addr:  mem.Addr(addr),
+		Len:   uint32(lenTag),
+		Tag:   uint32(lenTag >> 32),
+	}, nil
+}
+
+// MetaLen returns the number of live metadata entries.
+func (l *LiquidIO) MetaLen() int { return l.metaLen }
+
+// XkphysRead lets a function read ANY physical address. This is the §3.2
+// observation: "an NF can read and write arbitrary physical addresses."
+func (l *LiquidIO) XkphysRead(from mem.Owner, pa mem.Addr, buf []byte) error {
+	if !l.xkphysOn {
+		return fmt.Errorf("baseline: xkphys disabled for functions")
+	}
+	return l.pm.Read(pa, buf)
+}
+
+// XkphysWrite lets a function write ANY physical address.
+func (l *LiquidIO) XkphysWrite(from mem.Owner, pa mem.Addr, data []byte) error {
+	if !l.xkphysOn {
+		return fmt.Errorf("baseline: xkphys disabled for functions")
+	}
+	return l.pm.Write(pa, data)
+}

@@ -1,0 +1,129 @@
+package baseline
+
+import (
+	"bytes"
+	"testing"
+
+	"snic/internal/mem"
+)
+
+func TestLiquidIOAllocAndMeta(t *testing.T) {
+	l, err := NewLiquidIO(8<<20, SES, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := l.AllocBuf(mem.FirstNF, 1024, TagPacket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := l.ReadMeta(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Owner != mem.FirstNF || m.Addr != addr || m.Len != 1024 || m.Tag != TagPacket {
+		t.Fatalf("meta = %+v", m)
+	}
+	if l.MetaLen() != 1 {
+		t.Fatalf("metaLen = %d", l.MetaLen())
+	}
+}
+
+func TestXkphysGivesRawAccess(t *testing.T) {
+	l, _ := NewLiquidIO(8<<20, SES, false) // SES forces xkphys on
+	addr, _ := l.AllocBuf(mem.FirstNF, 64, TagGeneric)
+	l.Memory().Write(addr, []byte("victim data"))
+	buf := make([]byte, 11)
+	if err := l.XkphysRead(mem.FirstNF+1, addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("victim data")) {
+		t.Fatal("raw read failed")
+	}
+	if err := l.XkphysWrite(mem.FirstNF+1, addr, []byte("OWNED")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSEUMWithoutXkphysBlocksRawAccess(t *testing.T) {
+	l, _ := NewLiquidIO(8<<20, SEUM, false)
+	if err := l.XkphysRead(mem.FirstNF, 0, make([]byte, 8)); err == nil {
+		t.Fatal("xkphys-off read allowed")
+	}
+	if err := l.XkphysWrite(mem.FirstNF, 0, []byte{1}); err == nil {
+		t.Fatal("xkphys-off write allowed")
+	}
+}
+
+func TestAgilioBusAndCrash(t *testing.T) {
+	a, err := NewAgilio(8<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := a.BusOp(0, 0)
+	if err != nil || done == 0 {
+		t.Fatalf("op: %v", err)
+	}
+	// Force the watchdog: attacker floods at time 0.
+	for i := 0; i < 500000 && !a.Crashed(); i++ {
+		a.BusOp(0, 0)
+	}
+	if !a.Crashed() {
+		t.Fatal("watchdog never tripped")
+	}
+	if _, err := a.BusOp(1, 0); err == nil {
+		t.Fatal("crashed NIC served an op")
+	}
+}
+
+func TestAgilioCryptoContention(t *testing.T) {
+	a, _ := NewAgilio(8<<20, 2)
+	_, w1 := a.CryptoOp(0)
+	if w1 != 0 {
+		t.Fatal("idle accelerator queued")
+	}
+	_, w2 := a.CryptoOp(0)
+	if w2 == 0 {
+		t.Fatal("contended accelerator did not queue")
+	}
+}
+
+func TestBlueFieldWorlds(t *testing.T) {
+	b, err := NewBlueField(8<<20, 2<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := b.CreateTrustlet(mem.FirstNF, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SecureWrite(r.Start, []byte("trusted state")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 13)
+	if err := b.NormalRead(r.Start, buf); err == nil {
+		t.Fatal("normal world read secure memory")
+	}
+	if err := b.SecureRead(r.Start, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("trusted state")) {
+		t.Fatal("secure read mismatch")
+	}
+	// Normal memory is accessible from the normal world.
+	if err := b.NormalRead(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.TrustletRange(mem.FirstNF); !ok {
+		t.Fatal("trustlet not recorded")
+	}
+}
+
+func TestBlueFieldValidation(t *testing.T) {
+	if _, err := NewBlueField(1<<20, 2<<20); err == nil {
+		t.Fatal("secure region larger than DRAM accepted")
+	}
+	b, _ := NewBlueField(4<<20, 1<<20)
+	if _, err := b.CreateTrustlet(mem.FirstNF, 2<<20); err == nil {
+		t.Fatal("oversized trustlet accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package baseline
+
+import (
+	"fmt"
+
+	"snic/internal/mem"
+)
+
+// BlueField models the TrustZone-based architecture: memory is split into
+// a normal region and a secure region; normal-world code cannot touch
+// secure memory, but secure-world code (the management OS / OP-TEE) can
+// access ALL memory — including every trustlet's private state. That
+// asymmetry is the §3.2 finding: "BlueField does not isolate a network
+// function from the secure-world management OS."
+type BlueField struct {
+	pm          *mem.Physical
+	secureBase  mem.Addr
+	secureBytes uint64
+	trustlets   map[mem.Owner]mem.Range
+	nextSecure  mem.Addr
+}
+
+// NewBlueField builds the model; the top secureBytes of DRAM form the
+// secure region.
+func NewBlueField(memBytes, secureBytes uint64) (*BlueField, error) {
+	if secureBytes >= memBytes {
+		return nil, fmt.Errorf("baseline: secure region exceeds DRAM")
+	}
+	pm, err := mem.NewPhysical(memBytes, 64<<10)
+	if err != nil {
+		return nil, err
+	}
+	base := mem.Addr(memBytes - secureBytes)
+	return &BlueField{
+		pm:          pm,
+		secureBase:  base,
+		secureBytes: secureBytes,
+		trustlets:   make(map[mem.Owner]mem.Range),
+		nextSecure:  base,
+	}, nil
+}
+
+// Memory exposes the DRAM.
+func (b *BlueField) Memory() *mem.Physical { return b.pm }
+
+func (b *BlueField) inSecure(pa mem.Addr, n int) bool {
+	return pa >= b.secureBase && uint64(pa)+uint64(n) <= uint64(b.secureBase)+b.secureBytes
+}
+
+// CreateTrustlet places a function's trusted state in the secure world.
+func (b *BlueField) CreateTrustlet(owner mem.Owner, n uint64) (mem.Range, error) {
+	if uint64(b.nextSecure)+n > uint64(b.secureBase)+b.secureBytes {
+		return mem.Range{}, fmt.Errorf("baseline: secure region exhausted")
+	}
+	r := mem.Range{Start: b.nextSecure, Frames: (n + b.pm.FrameSize() - 1) / b.pm.FrameSize()}
+	b.nextSecure += mem.Addr((n + 63) &^ 63)
+	b.trustlets[owner] = r
+	return r, nil
+}
+
+// NormalRead is a normal-world access: the TrustZone address-space
+// controller blocks secure addresses.
+func (b *BlueField) NormalRead(pa mem.Addr, buf []byte) error {
+	if b.inSecure(pa, len(buf)) || (pa < b.secureBase && uint64(pa)+uint64(len(buf)) > uint64(b.secureBase)) {
+		return fmt.Errorf("baseline: TrustZone blocks normal-world access to secure memory")
+	}
+	return b.pm.Read(pa, buf)
+}
+
+// SecureRead is a secure-world access: the management OS can read
+// ANYTHING, including other tenants' trustlets. This is the hole S-NIC
+// closes.
+func (b *BlueField) SecureRead(pa mem.Addr, buf []byte) error {
+	return b.pm.Read(pa, buf)
+}
+
+// SecureWrite lets the secure world modify anything.
+func (b *BlueField) SecureWrite(pa mem.Addr, data []byte) error {
+	return b.pm.Write(pa, data)
+}
+
+// TrustletRange returns where a trustlet's state lives (the trustlet's
+// own view; other trustlets shouldn't know it, but the secure OS does).
+func (b *BlueField) TrustletRange(owner mem.Owner) (mem.Range, bool) {
+	r, ok := b.trustlets[owner]
+	return r, ok
+}

@@ -1,0 +1,255 @@
+// Package cache implements the set-associative cache hierarchy used by the
+// timing simulator, together with the sharing policies §4.2 evaluates:
+//
+//   - Shared: the commodity baseline. Every security domain competes for
+//     every way; cross-domain evictions are both a performance interference
+//     channel and a classic prime+probe side channel.
+//   - Static: S-NIC's hard partitioning — each domain receives an equal,
+//     private slice of the ways ("Static partitioning allocated 1/N of the
+//     cache to each of the N functions", §5.3). No line is ever shared or
+//     stolen across domains, eliminating cache side channels.
+//
+// The cache exposes per-domain hit/miss statistics and, deliberately, the
+// per-access hit/miss outcome — that observable is what a prime+probe
+// attacker measures, and the attack tests use it to demonstrate leakage on
+// Shared and silence on Static.
+package cache
+
+import (
+	"fmt"
+
+	"snic/internal/mem"
+)
+
+// Policy selects the sharing discipline.
+type Policy int
+
+// Sharing policies.
+const (
+	Shared Policy = iota // full sharing (baseline, leaky)
+	Static               // hard way-partitioning per domain (S-NIC)
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Shared:
+		return "shared"
+	case Static:
+		return "static"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Stats counts per-domain cache outcomes.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Accesses returns total accesses.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns the miss ratio (0 if no accesses).
+func (s Stats) MissRate() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses())
+}
+
+type line struct {
+	tag    uint64
+	domain int
+	valid  bool
+	dirty  bool
+	used   uint64 // LRU timestamp
+}
+
+// Cache is one level of set-associative cache.
+type Cache struct {
+	name     string
+	lineSize uint64
+	sets     int
+	ways     int
+	policy   Policy
+	domains  int
+	lines    []line // sets*ways, row-major by set
+	tick     uint64
+	stats    []Stats
+	// wayAlloc, when non-nil, overrides the equal static split with
+	// explicit per-domain way ranges (installed by the SecDCP Resizer).
+	wayAlloc [][2]int
+}
+
+// Config describes a cache level.
+type Config struct {
+	Name     string
+	Size     uint64 // total bytes
+	LineSize uint64 // bytes per line
+	Ways     int
+	Policy   Policy
+	Domains  int // number of security domains sharing this cache (>=1)
+}
+
+// New builds a cache. Size must be divisible by LineSize*Ways. Under the
+// Static policy, Ways must be >= Domains so each domain gets at least one
+// private way.
+func New(cfg Config) (*Cache, error) {
+	if cfg.LineSize == 0 || cfg.Ways <= 0 || cfg.Size == 0 {
+		return nil, fmt.Errorf("cache: bad config %+v", cfg)
+	}
+	if cfg.Domains < 1 {
+		cfg.Domains = 1
+	}
+	lines := cfg.Size / cfg.LineSize
+	if lines%uint64(cfg.Ways) != 0 {
+		return nil, fmt.Errorf("cache: %d lines not divisible by %d ways", lines, cfg.Ways)
+	}
+	sets := int(lines) / cfg.Ways
+	if cfg.Policy == Static && cfg.Ways < cfg.Domains {
+		return nil, fmt.Errorf("cache: %d ways cannot be partitioned across %d domains", cfg.Ways, cfg.Domains)
+	}
+	return &Cache{
+		name:     cfg.Name,
+		lineSize: cfg.LineSize,
+		sets:     sets,
+		ways:     cfg.Ways,
+		policy:   cfg.Policy,
+		domains:  cfg.Domains,
+		lines:    make([]line, int(lines)),
+		stats:    make([]Stats, cfg.Domains),
+	}, nil
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() uint64 { return c.lineSize }
+
+// Stats returns the accumulated statistics for a domain.
+func (c *Cache) Stats(domain int) Stats { return c.stats[domain] }
+
+// wayRange returns the half-open way interval domain may occupy.
+func (c *Cache) wayRange(domain int) (int, int) {
+	if c.policy == Shared {
+		return 0, c.ways
+	}
+	if c.wayAlloc != nil {
+		r := c.wayAlloc[domain]
+		return r[0], r[1]
+	}
+	per := c.ways / c.domains
+	lo := domain * per
+	hi := lo + per
+	if domain == c.domains-1 {
+		hi = c.ways // last domain absorbs the remainder ways
+	}
+	return lo, hi
+}
+
+// Access looks up the line containing pa on behalf of domain. It returns
+// true on a hit. On a miss the line is filled (evicting the domain's LRU
+// victim within its permitted ways) and false is returned.
+func (c *Cache) Access(pa mem.Addr, domain int, write bool) bool {
+	c.tick++
+	set := int((uint64(pa) / c.lineSize) % uint64(c.sets))
+	tag := uint64(pa) / c.lineSize / uint64(c.sets)
+	base := set * c.ways
+	lo, hi := c.wayRange(domain)
+
+	// Probe: under Shared a domain can hit on any way (Intel CAT-style
+	// "soft" partitioning would hit across regions too — the paper notes
+	// this is why CAT is insufficient). Under Static, hits can only come
+	// from the domain's own ways, because no other placement ever occurs.
+	for w := lo; w < hi; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag && l.domain == domain {
+			l.used = c.tick
+			l.dirty = l.dirty || write
+			c.stats[domain].Hits++
+			return true
+		}
+	}
+	// Shared policy: a line brought in by another domain still serves a
+	// hit (shared physical line) — this cross-domain visibility is itself
+	// part of the side channel.
+	if c.policy == Shared {
+		for w := 0; w < c.ways; w++ {
+			l := &c.lines[base+w]
+			if l.valid && l.tag == tag {
+				l.used = c.tick
+				l.dirty = l.dirty || write
+				c.stats[domain].Hits++
+				return true
+			}
+		}
+	}
+
+	// Miss: fill into the LRU way of the permitted range.
+	victim := base + lo
+	for w := lo; w < hi; w++ {
+		l := &c.lines[base+w]
+		if !l.valid {
+			victim = base + w
+			break
+		}
+		if l.used < c.lines[victim].used {
+			victim = base + w
+		}
+	}
+	c.lines[victim] = line{tag: tag, domain: domain, valid: true, dirty: write, used: c.tick}
+	c.stats[domain].Misses++
+	return false
+}
+
+// Contains reports whether pa is resident (without touching LRU state or
+// stats) — the observability hook used by prime+probe tests.
+func (c *Cache) Contains(pa mem.Addr) bool {
+	set := int((uint64(pa) / c.lineSize) % uint64(c.sets))
+	tag := uint64(pa) / c.lineSize / uint64(c.sets)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := c.lines[base+w]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushDomain invalidates every line belonging to domain — the cache-line
+// scrub performed by nf_teardown ("The instruction also zeroes out the
+// registers and cache lines used by F", §4.6). It returns the number of
+// lines flushed.
+func (c *Cache) FlushDomain(domain int) int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].domain == domain {
+			c.lines[i] = line{}
+			n++
+		}
+	}
+	return n
+}
+
+// ResetStats zeroes the per-domain counters (e.g. after warmup).
+func (c *Cache) ResetStats() {
+	for i := range c.stats {
+		c.stats[i] = Stats{}
+	}
+}
+
+// OccupancyOf returns how many lines domain currently holds.
+func (c *Cache) OccupancyOf(domain int) int {
+	n := 0
+	for _, l := range c.lines {
+		if l.valid && l.domain == domain {
+			n++
+		}
+	}
+	return n
+}

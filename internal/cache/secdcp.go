@@ -1,0 +1,129 @@
+package cache
+
+import "fmt"
+
+// §4.2's second partitioning option: "if S-NIC is willing to allow side
+// channels from the NIC OS to functions (but not vice versa), S-NIC can
+// use SecDCP cache partitioning. In this approach, each function receives
+// a minimum cache allocation. Trusted cache hardware examines utilization
+// by functions and the NIC OS, and only resizes allocations in response
+// to the cache behavior of the NIC OS."
+//
+// Resizer implements that discipline on top of a Static cache: domain 0
+// is the NIC OS; NF domains own contiguous way ranges with a guaranteed
+// minimum. Resize decisions consume ONLY the OS's own miss rate — the
+// information-flow restriction that keeps NFs unobservable — and shrink
+// or grow the OS's slice at the expense of a donation pool, never by
+// inspecting (or depending on) NF behaviour. Lines in ways a domain
+// loses are flushed, so no content crosses domains.
+
+// Resizer manages dynamic way allocation over a partitioned cache.
+type Resizer struct {
+	c            *Cache
+	minWays      []int // per-domain guaranteed minimum
+	curWays      []int
+	lastOSMisses uint64
+}
+
+// NewResizer wraps a Static-policy cache. minWays must sum to at most the
+// cache's associativity; leftovers form the flexible pool initially owned
+// by the OS (domain 0).
+func NewResizer(c *Cache, minWays []int) (*Resizer, error) {
+	if c.policy != Static {
+		return nil, fmt.Errorf("cache: SecDCP resizing requires a Static cache")
+	}
+	if len(minWays) != c.domains {
+		return nil, fmt.Errorf("cache: %d minimums for %d domains", len(minWays), c.domains)
+	}
+	sum := 0
+	for _, w := range minWays {
+		if w < 1 {
+			return nil, fmt.Errorf("cache: every domain needs >= 1 way")
+		}
+		sum += w
+	}
+	if sum > c.ways {
+		return nil, fmt.Errorf("cache: minimums (%d ways) exceed associativity (%d)", sum, c.ways)
+	}
+	cur := append([]int(nil), minWays...)
+	// The flexible pool starts with the functions (round-robin): SecDCP
+	// guarantees NF minimums and lets the OS borrow only under its own
+	// demonstrated pressure.
+	for extra, d := c.ways-sum, 1; extra > 0; extra-- {
+		if c.domains == 1 {
+			cur[0]++
+			continue
+		}
+		cur[d]++
+		d++
+		if d == c.domains {
+			d = 1
+		}
+	}
+	r := &Resizer{c: c, minWays: minWays, curWays: cur}
+	r.apply()
+	return r, nil
+}
+
+// Ways returns the current allocation of a domain.
+func (r *Resizer) Ways(domain int) int { return r.curWays[domain] }
+
+// apply installs the current allocation as way ranges on the cache and
+// flushes any line now outside its owner's range.
+func (r *Resizer) apply() {
+	r.c.wayAlloc = make([][2]int, r.c.domains)
+	lo := 0
+	for d, w := range r.curWays {
+		r.c.wayAlloc[d] = [2]int{lo, lo + w}
+		lo += w
+	}
+	// Flush lines stranded outside their domain's new range: content must
+	// never be readable (or evictable) across a partition boundary.
+	for set := 0; set < r.c.sets; set++ {
+		base := set * r.c.ways
+		for w := 0; w < r.c.ways; w++ {
+			l := &r.c.lines[base+w]
+			if !l.valid {
+				continue
+			}
+			rangeOf := r.c.wayAlloc[l.domain]
+			if w < rangeOf[0] || w >= rangeOf[1] {
+				*l = line{}
+			}
+		}
+	}
+}
+
+// Tick runs one SecDCP decision epoch. It looks ONLY at the OS's own
+// miss delta (domain 0): rising OS pressure grows the OS slice by one way
+// (taken from the flexible share above some NF's minimum, round-robin);
+// falling pressure returns a way. NF miss rates are deliberately never
+// read, so nothing about NF behaviour influences — or is revealed by —
+// the resize schedule.
+func (r *Resizer) Tick() {
+	osMisses := r.c.stats[0].Misses
+	delta := osMisses - r.lastOSMisses
+	r.lastOSMisses = osMisses
+	const pressure = 64 // misses per epoch that count as "pressured"
+	if delta > pressure {
+		// Grow the OS slice from the first NF domain above its minimum.
+		for d := 1; d < r.c.domains; d++ {
+			if r.curWays[d] > r.minWays[d] {
+				r.curWays[d]--
+				r.curWays[0]++
+				r.apply()
+				return
+			}
+		}
+	} else if delta < pressure/4 {
+		// Relaxed: hand a way back to the most-starved NF (at minimum).
+		for d := 1; d < r.c.domains; d++ {
+			if r.curWays[d] == r.minWays[d] && r.curWays[0] > r.minWays[0] {
+				r.curWays[0]--
+				r.curWays[d]++
+				r.apply()
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Package exp is the experiment harness: one entry point per table and
+// figure in the paper's evaluation (§5, §C, Appendix B), each returning
+// typed rows plus a paper-style text rendering. cmd/snicbench and the
+// repository-level benchmarks drive these functions; EXPERIMENTS.md
+// records paper-vs-measured for every entry.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a generic text table for terminal rendering.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func mb(v uint64) string  { return fmt.Sprintf("%.2f", float64(v)/(1<<20)) }

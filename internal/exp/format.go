@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Format selects an output encoding for experiment tables.
+type Format int
+
+// Supported encodings.
+const (
+	Text Format = iota
+	CSV
+	JSON
+)
+
+// ParseFormat maps a flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "", "text":
+		return Text, nil
+	case "csv":
+		return CSV, nil
+	case "json":
+		return JSON, nil
+	}
+	return Text, fmt.Errorf("exp: unknown format %q (text|csv|json)", s)
+}
+
+// Render encodes the table in the requested format.
+func (t Table) Render(f Format) (string, error) {
+	switch f {
+	case Text:
+		return t.String(), nil
+	case CSV:
+		var b strings.Builder
+		w := csv.NewWriter(&b)
+		if err := w.Write(t.Header); err != nil {
+			return "", err
+		}
+		if err := w.WriteAll(t.Rows); err != nil {
+			return "", err
+		}
+		w.Flush()
+		return b.String(), w.Error()
+	case JSON:
+		out, err := json.MarshalIndent(struct {
+			Title  string     `json:"title"`
+			Header []string   `json:"header"`
+			Rows   [][]string `json:"rows"`
+			Notes  []string   `json:"notes,omitempty"`
+		}{t.Title, t.Header, t.Rows, t.Notes}, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		return string(out) + "\n", nil
+	}
+	return "", fmt.Errorf("exp: bad format %d", int(f))
+}

@@ -1,0 +1,230 @@
+package hashmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"snic/internal/mem"
+	"snic/internal/sim"
+)
+
+func key(i uint64) Key {
+	var k Key
+	for b := 0; b < 8; b++ {
+		k[b] = byte(i >> (8 * b))
+	}
+	return k
+}
+
+func TestPutGet(t *testing.T) {
+	m := New(nil, 0)
+	for i := uint64(0); i < 1000; i++ {
+		m.Put(key(i), i*3)
+	}
+	if m.Len() != 1000 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		v, ok := m.Get(key(i))
+		if !ok || v != i*3 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := m.Get(key(5000)); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	m := New(nil, 0)
+	m.Put(key(1), 10)
+	m.Put(key(1), 20)
+	if m.Len() != 1 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if v, _ := m.Get(key(1)); v != 20 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	m := New(nil, 0)
+	for i := 0; i < 5; i++ {
+		m.Add(key(7), 2)
+	}
+	if v, _ := m.Get(key(7)); v != 10 {
+		t.Fatalf("counter = %d", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m := New(nil, 0)
+	m.Put(key(1), 1)
+	m.Put(key(2), 2)
+	if !m.Delete(key(1)) {
+		t.Fatal("delete existing failed")
+	}
+	if m.Delete(key(1)) {
+		t.Fatal("delete absent succeeded")
+	}
+	if _, ok := m.Get(key(1)); ok {
+		t.Fatal("deleted key still present")
+	}
+	if v, ok := m.Get(key(2)); !ok || v != 2 {
+		t.Fatal("unrelated key damaged by delete")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+func TestTombstoneReuse(t *testing.T) {
+	m := New(nil, 0)
+	for i := uint64(0); i < 100; i++ {
+		m.Put(key(i), i)
+	}
+	for i := uint64(0); i < 100; i++ {
+		m.Delete(key(i))
+	}
+	// Re-inserting must not blow up capacity unboundedly.
+	for i := uint64(0); i < 100; i++ {
+		m.Put(key(i), i+1)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if v, ok := m.Get(key(i)); !ok || v != i+1 {
+			t.Fatalf("Get(%d) after tombstone churn = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestGrowthDoubles(t *testing.T) {
+	m := New(nil, 8)
+	c0 := m.Cap()
+	for i := uint64(0); i < uint64(c0); i++ {
+		m.Put(key(i), i)
+	}
+	if m.Cap() != 2*c0 {
+		t.Fatalf("cap = %d, want %d", m.Cap(), 2*c0)
+	}
+	if m.Resizes() == 0 {
+		t.Fatal("no resize recorded")
+	}
+}
+
+func TestArenaChargesResizeSpike(t *testing.T) {
+	var peakDuring uint64
+	a := &mem.Arena{}
+	a.Samples = func(live uint64) {
+		if live > peakDuring {
+			peakDuring = live
+		}
+	}
+	m := New(a, 8)
+	for i := uint64(0); i < 10000; i++ {
+		m.Put(key(i), i)
+	}
+	// During a resize both tables are live, so the observed peak must
+	// exceed the steady-state footprint (Figure 7's spikes).
+	if peakDuring <= m.FootprintBytes() {
+		t.Fatalf("no resize spike: peak %d, steady %d", peakDuring, m.FootprintBytes())
+	}
+	if a.LiveIn(mem.SegHeap) != m.FootprintBytes() {
+		t.Fatalf("steady-state accounting wrong: arena %d map %d",
+			a.LiveIn(mem.SegHeap), m.FootprintBytes())
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := New(nil, 0)
+	for i := uint64(0); i < 50; i++ {
+		m.Put(key(i), i)
+	}
+	seen := map[uint64]bool{}
+	m.Range(func(k Key, v uint64) bool {
+		seen[v] = true
+		return true
+	})
+	if len(seen) != 50 {
+		t.Fatalf("ranged over %d entries", len(seen))
+	}
+	n := 0
+	m.Range(func(k Key, v uint64) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New(nil, 0)
+	for i := uint64(0); i < 100; i++ {
+		m.Put(key(i), i)
+	}
+	c := m.Cap()
+	m.Reset()
+	if m.Len() != 0 || m.Cap() != c {
+		t.Fatalf("after reset: len=%d cap=%d", m.Len(), m.Cap())
+	}
+	if _, ok := m.Get(key(1)); ok {
+		t.Fatal("entry survived reset")
+	}
+}
+
+// Property: the map agrees with Go's built-in map under random operations.
+func TestMatchesReferenceMap(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		m := New(nil, 0)
+		ref := map[Key]uint64{}
+		for op := 0; op < 2000; op++ {
+			k := key(uint64(rng.Intn(300)))
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := rng.Uint64()
+				m.Put(k, v)
+				ref[k] = v
+			case 2:
+				got := m.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			case 3:
+				v, ok := m.Get(k)
+				rv, rok := ref[k]
+				if ok != rok || (ok && v != rv) {
+					return false
+				}
+			}
+			if m.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	m := New(nil, 1<<16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Put(key(uint64(i&0xFFFF)), uint64(i))
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	m := New(nil, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		m.Put(key(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(key(uint64(i & 0xFFFF)))
+	}
+}

@@ -1,0 +1,142 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+// Table 2's published body, reproduced from the calibrated curves.
+func TestTable2Reproduction(t *testing.T) {
+	cases := []struct {
+		entries, cores int
+		area, power    float64
+	}{
+		{183, 4, 0.045, 0.026},
+		{183, 8, 0.090, 0.052},
+		{183, 16, 0.179, 0.104},
+		{183, 48, 0.538, 0.311},
+		{256, 4, 0.060, 0.035},
+		{256, 48, 0.718, 0.416},
+		{512, 4, 0.163, 0.088},
+		{512, 16, 0.652, 0.351},
+		{512, 48, 1.956, 1.052},
+	}
+	for _, c := range cases {
+		m := CoreTLBCost(c.cores, c.entries)
+		approx(t, "area", m.AreaMM2, c.area, 0.002)
+		approx(t, "power", m.PowerW, c.power, 0.002)
+	}
+}
+
+// Table 3: accelerator TLB banks.
+func TestTable3Reproduction(t *testing.T) {
+	cases := []struct {
+		curve       Curve
+		entries     int
+		clusters    int
+		area, power float64
+	}{
+		{DPITLB, 54, 16, 0.074, 0.037},
+		{DPITLB, 54, 8, 0.037, 0.019},
+		{DPITLB, 54, 4, 0.019, 0.009},
+		{ZIPTLB, 70, 16, 0.091, 0.044},
+		{ZIPTLB, 70, 8, 0.046, 0.022},
+		{RAIDTLB, 5, 16, 0.050, 0.023},
+		{RAIDTLB, 5, 4, 0.012, 0.006},
+	}
+	for _, c := range cases {
+		m := AccelTLBCost(c.curve, c.entries, c.clusters)
+		approx(t, "area", m.AreaMM2, c.area, 0.002)
+		approx(t, "power", m.PowerW, c.power, 0.002)
+	}
+}
+
+// Table 4: VPP and DMA banks — and the caption's note that 2 and 3
+// entries cost the same (the structure floor).
+func TestTable4Reproduction(t *testing.T) {
+	for _, c := range []struct {
+		units       int
+		area, power float64
+	}{{12, 0.037, 0.017}, {6, 0.019, 0.009}, {3, 0.009, 0.004}} {
+		vpp := PipeTLBCost(3, c.units)
+		dmac := PipeTLBCost(2, c.units)
+		approx(t, "vpp area", vpp.AreaMM2, c.area, 0.002)
+		approx(t, "vpp power", vpp.PowerW, c.power, 0.002)
+		if vpp != dmac {
+			t.Fatalf("2-entry and 3-entry banks should cost the same (floor)")
+		}
+	}
+}
+
+// Table 5: page-size settings at 48 cores.
+func TestTable5Reproduction(t *testing.T) {
+	for _, c := range []struct {
+		entries     int
+		area, power float64
+	}{{183, 0.538, 0.311}, {51, 0.214, 0.106}, {13, 0.150, 0.069}} {
+		m := CoreTLBCost(48, c.entries)
+		approx(t, "area", m.AreaMM2, c.area, 0.002)
+		approx(t, "power", m.PowerW, c.power, 0.002)
+	}
+}
+
+func TestHeadlineMatchesPaper(t *testing.T) {
+	_, _, areaPct, powerPct := Headline()
+	approx(t, "area %", areaPct, 8.89, 0.25)
+	approx(t, "power %", powerPct, 11.45, 0.35)
+}
+
+func TestA9BaselinePoints(t *testing.T) {
+	for _, c := range []struct {
+		entries     int
+		area, power float64
+	}{{183, 4.984, 1.909}, {256, 4.999, 1.913}, {512, 5.102, 1.971}} {
+		m := A9Baseline(c.entries)
+		approx(t, "A9 area", m.AreaMM2, c.area, 0.001)
+		approx(t, "A9 power", m.PowerW, c.power, 0.001)
+	}
+}
+
+func TestCurveMonotoneAndFloored(t *testing.T) {
+	prev := Metric{}
+	for e := 1; e <= 1024; e += 7 {
+		m := CoreTLB.At(e)
+		if m.AreaMM2 < prev.AreaMM2 || m.PowerW < prev.PowerW {
+			t.Fatalf("curve not monotone at %d entries", e)
+		}
+		prev = m
+	}
+	if CoreTLB.At(1) != CoreTLB.At(13) {
+		t.Fatal("floor not applied")
+	}
+	// Extrapolation beyond 512 continues the final slope.
+	if CoreTLB.At(1024).AreaMM2 <= CoreTLB.At(512).AreaMM2 {
+		t.Fatal("no extrapolation")
+	}
+}
+
+func TestSinglePointCurveScales(t *testing.T) {
+	m1 := DPITLB.At(54)
+	m2 := DPITLB.At(108)
+	approx(t, "2x entries", m2.AreaMM2, 2*m1.AreaMM2, 1e-9)
+}
+
+func TestMetricOps(t *testing.T) {
+	m := Metric{1, 2}.Add(Metric{3, 4}).Scale(2)
+	if m.AreaMM2 != 8 || m.PowerW != 12 {
+		t.Fatalf("metric math: %+v", m)
+	}
+}
+
+func TestEmptyCurve(t *testing.T) {
+	if (Curve{}).At(10) != (Metric{}) {
+		t.Fatal("empty curve should be zero")
+	}
+}

@@ -1,0 +1,157 @@
+// Package lz implements an LZ77 compressor with a 32 KB sliding-window
+// dictionary — the engine of the ZIP hardware accelerator (Table 7 lists
+// a 32 KB "Dict" as the accelerator's compression dictionary). It is a
+// from-scratch implementation with a byte-oriented token format:
+//
+//	0x00 len  <len literal bytes>        literal run (len in 1..255)
+//	0x01 d_hi d_lo l_hi l_lo             match: distance 1..32768, length 4..65535
+//
+// Compression quality is deliberately modest (greedy matching, hash-chain
+// search) — what matters for the simulator is deterministic behaviour, a
+// bounded dictionary, and realistic per-byte work, not ratio records.
+package lz
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// WindowSize is the dictionary size (Table 7's 32 KB Dict).
+const WindowSize = 32 << 10
+
+const (
+	minMatch = 4
+	maxMatch = 65535
+	hashBits = 15
+	tagLit   = 0x00
+	tagMatch = 0x01
+)
+
+// Compress returns the compressed form of src.
+func Compress(src []byte) []byte {
+	var dst []byte
+	var head [1 << hashBits]int32
+	var prev []int32
+	for i := range head {
+		head[i] = -1
+	}
+	prev = make([]int32, len(src))
+	hash := func(i int) uint32 {
+		v := binary.LittleEndian.Uint32(src[i:])
+		return (v * 2654435761) >> (32 - hashBits)
+	}
+
+	litStart := 0
+	flushLits := func(end int) {
+		for litStart < end {
+			n := end - litStart
+			if n > 255 {
+				n = 255
+			}
+			dst = append(dst, tagLit, byte(n))
+			dst = append(dst, src[litStart:litStart+n]...)
+			litStart += n
+		}
+	}
+
+	i := 0
+	for i < len(src) {
+		bestLen, bestDist := 0, 0
+		if i+minMatch <= len(src) {
+			h := hash(i)
+			cand := head[h]
+			prev[i] = cand
+			head[h] = int32(i)
+			for tries := 0; cand >= 0 && tries < 32; tries++ {
+				dist := i - int(cand)
+				if dist > WindowSize {
+					break
+				}
+				l := matchLen(src, int(cand), i)
+				if l > bestLen {
+					bestLen, bestDist = l, dist
+				}
+				cand = prev[cand]
+			}
+		}
+		if bestLen >= minMatch {
+			flushLits(i)
+			if bestLen > maxMatch {
+				bestLen = maxMatch
+			}
+			dst = append(dst, tagMatch,
+				byte(bestDist>>8), byte(bestDist),
+				byte(bestLen>>8), byte(bestLen))
+			// Insert hash entries for the match body so later matches can
+			// reference it.
+			end := i + bestLen
+			for j := i + 1; j < end && j+minMatch <= len(src); j++ {
+				h := hash(j)
+				prev[j] = head[h]
+				head[h] = int32(j)
+			}
+			i = end
+			litStart = i
+		} else {
+			i++
+		}
+	}
+	flushLits(len(src))
+	return dst
+}
+
+func matchLen(src []byte, a, b int) int {
+	n := 0
+	for b+n < len(src) && src[a+n] == src[b+n] && n < maxMatch {
+		n++
+	}
+	return n
+}
+
+// ErrCorrupt is returned when the compressed stream is malformed.
+var ErrCorrupt = fmt.Errorf("lz: corrupt stream")
+
+// Decompress inverts Compress.
+func Decompress(comp []byte) ([]byte, error) {
+	var out []byte
+	i := 0
+	for i < len(comp) {
+		switch comp[i] {
+		case tagLit:
+			if i+2 > len(comp) {
+				return nil, ErrCorrupt
+			}
+			n := int(comp[i+1])
+			if n == 0 || i+2+n > len(comp) {
+				return nil, ErrCorrupt
+			}
+			out = append(out, comp[i+2:i+2+n]...)
+			i += 2 + n
+		case tagMatch:
+			if i+5 > len(comp) {
+				return nil, ErrCorrupt
+			}
+			dist := int(comp[i+1])<<8 | int(comp[i+2])
+			length := int(comp[i+3])<<8 | int(comp[i+4])
+			if dist == 0 || dist > len(out) || length < minMatch {
+				return nil, ErrCorrupt
+			}
+			start := len(out) - dist
+			for j := 0; j < length; j++ {
+				out = append(out, out[start+j])
+			}
+			i += 5
+		default:
+			return nil, ErrCorrupt
+		}
+	}
+	return out, nil
+}
+
+// Ratio returns compressed/original size (1.0 means no compression gain).
+func Ratio(original, compressed int) float64 {
+	if original == 0 {
+		return 1
+	}
+	return float64(compressed) / float64(original)
+}

@@ -1,0 +1,120 @@
+package lz
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"snic/internal/sim"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	c := Compress(src)
+	out, err := Decompress(c)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatalf("round trip mismatch: %d bytes in, %d out", len(src), len(out))
+	}
+	return c
+}
+
+func TestEmpty(t *testing.T) {
+	if c := roundTrip(t, nil); len(c) != 0 {
+		t.Fatalf("empty input compressed to %d bytes", len(c))
+	}
+}
+
+func TestShortLiteral(t *testing.T) {
+	roundTrip(t, []byte("abc"))
+}
+
+func TestRepetitiveCompresses(t *testing.T) {
+	src := bytes.Repeat([]byte("network function "), 1000)
+	c := roundTrip(t, src)
+	if len(c) >= len(src)/4 {
+		t.Fatalf("repetitive data barely compressed: %d -> %d", len(src), len(c))
+	}
+}
+
+func TestIncompressibleSurvives(t *testing.T) {
+	rng := sim.NewRand(3)
+	src := make([]byte, 10000)
+	rng.Bytes(src)
+	c := roundTrip(t, src)
+	// Random data should expand only slightly (literal framing overhead).
+	if len(c) > len(src)+len(src)/64+16 {
+		t.Fatalf("random data expanded too much: %d -> %d", len(src), len(c))
+	}
+}
+
+func TestOverlappingMatch(t *testing.T) {
+	// "aaaa..." forces matches whose source overlaps their destination.
+	roundTrip(t, bytes.Repeat([]byte{'a'}, 5000))
+}
+
+func TestWindowBoundary(t *testing.T) {
+	// A repeat beyond the 32 KB window cannot be matched; one within can.
+	rng := sim.NewRand(9)
+	block := make([]byte, 1024)
+	rng.Bytes(block)
+	far := make([]byte, 0, WindowSize+3*1024)
+	far = append(far, block...)
+	filler := make([]byte, WindowSize+1024)
+	rng.Bytes(filler)
+	far = append(far, filler...)
+	far = append(far, block...) // too far to match
+	roundTrip(t, far)
+
+	near := append(append(append([]byte{}, block...), make([]byte, 1024)...), block...)
+	cNear := Compress(near)
+	cFar := Compress(far)
+	// Ratio of the near case must beat the far case.
+	if Ratio(len(near), len(cNear)) >= Ratio(len(far), len(cFar)) {
+		t.Fatalf("window not limiting matches: near %f far %f",
+			Ratio(len(near), len(cNear)), Ratio(len(far), len(cFar)))
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{0x02},                         // unknown tag
+		{0x00},                         // literal without length
+		{0x00, 0x05, 'a'},              // literal shorter than declared
+		{0x01, 0x00, 0x01},             // truncated match
+		{0x01, 0x00, 0x05, 0x00, 0x08}, // distance beyond output
+		{0x00, 0x00},                   // zero-length literal
+	}
+	for i, c := range cases {
+		if _, err := Decompress(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, n uint16, repeatBias uint8) bool {
+		rng := sim.NewRand(seed)
+		size := int(n) % 8192
+		src := make([]byte, size)
+		alphabet := 1 + int(repeatBias)%8 // small alphabets create matches
+		for i := range src {
+			src[i] = byte('a' + rng.Intn(alphabet))
+		}
+		out, err := Decompress(Compress(src))
+		return err == nil && bytes.Equal(out, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress4K(b *testing.B) {
+	src := bytes.Repeat([]byte("packet payload with some repetition "), 120)[:4096]
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		Compress(src)
+	}
+}

@@ -1,0 +1,80 @@
+package nicos
+
+import (
+	"testing"
+
+	"snic/internal/attest"
+	"snic/internal/snic"
+)
+
+func newOS(t *testing.T) *OS {
+	t.Helper()
+	v, err := attest.NewVendor("V", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := snic.New(snic.Config{Cores: 4, MemBytes: 16 << 20}, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(d)
+}
+
+func spec(mask uint64) snic.LaunchSpec {
+	return snic.LaunchSpec{CoreMask: mask, Image: []byte("img"), MemBytes: 1 << 20, DMACore: -1}
+}
+
+func TestCreateDestroyLifecycle(t *testing.T) {
+	o := newOS(t)
+	id, rep, err := o.NFCreate("firewall", spec(0b01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalMS() <= 0 || o.Running() != 1 || o.NameOf(id) != "firewall" {
+		t.Fatalf("rep=%+v running=%d name=%q", rep, o.Running(), o.NameOf(id))
+	}
+	tr, err := o.NFDestroy(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalMS() <= 0 || o.Running() != 0 {
+		t.Fatalf("tr=%+v running=%d", tr, o.Running())
+	}
+}
+
+func TestCreateFailurePropagates(t *testing.T) {
+	o := newOS(t)
+	if _, _, err := o.NFCreate("bad", spec(0)); err == nil {
+		t.Fatal("empty mask accepted")
+	}
+	if o.Running() != 0 {
+		t.Fatal("failed create recorded")
+	}
+}
+
+func TestDestroyUnknownFails(t *testing.T) {
+	o := newOS(t)
+	if _, err := o.NFDestroy(99); err == nil {
+		t.Fatal("unknown destroy accepted")
+	}
+}
+
+func TestMultiTenant(t *testing.T) {
+	o := newOS(t)
+	a, _, err := o.NFCreate("nf-a", spec(0b01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := o.NFCreate("nf-b", spec(0b10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b || o.Running() != 2 {
+		t.Fatal("tenants collide")
+	}
+	// The OS cannot map tenant memory even though it created the NFs.
+	vn := o.Device().NF(a)
+	if err := o.Device().MgmtMap(0, vn.Mem.Start, 128<<10); err == nil {
+		t.Fatal("NIC OS mapped tenant memory")
+	}
+}

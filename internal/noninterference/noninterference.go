@@ -1,0 +1,67 @@
+// Package noninterference provides a reusable two-run test harness for
+// the property S-NIC's hardware is designed to provide — and that the
+// formal-verification work the paper cites (§6) would prove: a victim's
+// observable behaviour is identical whether or not an attacker runs.
+//
+// A Scenario produces the victim's observation trace given an "attacker
+// active" flag; Check runs it both ways and reports the first diverging
+// observation. The substrate tests (cache, bus, device) instantiate it
+// with hit/miss sequences, grant times, and instruction timings.
+package noninterference
+
+import "fmt"
+
+// Scenario runs the victim workload and returns its observation trace.
+// It is called twice: once with the attacker idle, once active. The
+// scenario must build all mutable state inside the call so the two runs
+// are independent.
+type Scenario func(attackerActive bool) ([]uint64, error)
+
+// Violation describes the first observable difference between runs.
+type Violation struct {
+	Index int
+	Quiet uint64
+	Noisy uint64
+}
+
+// Error renders the violation.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("noninterference violated at observation %d: %d (quiet) vs %d (attacked)",
+		v.Index, v.Quiet, v.Noisy)
+}
+
+// Check runs the scenario twice and compares traces. A nil return means
+// the victim could not distinguish the attacker's presence.
+func Check(s Scenario) error {
+	quiet, err := s(false)
+	if err != nil {
+		return fmt.Errorf("noninterference: quiet run: %w", err)
+	}
+	noisy, err := s(true)
+	if err != nil {
+		return fmt.Errorf("noninterference: attacked run: %w", err)
+	}
+	if len(quiet) != len(noisy) {
+		return fmt.Errorf("noninterference: trace lengths differ: %d vs %d", len(quiet), len(noisy))
+	}
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			return &Violation{Index: i, Quiet: quiet[i], Noisy: noisy[i]}
+		}
+	}
+	return nil
+}
+
+// MustLeak inverts Check for baseline configurations: it returns an
+// error if the runs were identical (i.e. the supposedly leaky substrate
+// failed to leak, indicating a broken experiment).
+func MustLeak(s Scenario) error {
+	err := Check(s)
+	if err == nil {
+		return fmt.Errorf("noninterference: expected a leak but traces were identical")
+	}
+	if _, ok := err.(*Violation); ok {
+		return nil // diverged, as expected for the leaky baseline
+	}
+	return err // a real failure (scenario error, length mismatch)
+}

@@ -1,0 +1,192 @@
+package noninterference
+
+import (
+	"errors"
+	"testing"
+
+	"snic/internal/bus"
+	"snic/internal/cache"
+	"snic/internal/cpu"
+	"snic/internal/mem"
+	"snic/internal/sim"
+)
+
+func TestCheckDetectsDivergence(t *testing.T) {
+	s := func(active bool) ([]uint64, error) {
+		if active {
+			return []uint64{1, 2, 99}, nil
+		}
+		return []uint64{1, 2, 3}, nil
+	}
+	err := Check(s)
+	var v *Violation
+	if !errors.As(err, &v) || v.Index != 2 || v.Quiet != 3 || v.Noisy != 99 {
+		t.Fatalf("err = %v", err)
+	}
+	if err.Error() == "" {
+		t.Fatal("empty violation message")
+	}
+	if MustLeak(s) != nil {
+		t.Fatal("MustLeak rejected a leaking scenario")
+	}
+}
+
+func TestCheckPassesIdenticalTraces(t *testing.T) {
+	s := func(bool) ([]uint64, error) { return []uint64{5, 5, 5}, nil }
+	if err := Check(s); err != nil {
+		t.Fatal(err)
+	}
+	if MustLeak(s) == nil {
+		t.Fatal("MustLeak accepted a tight scenario")
+	}
+}
+
+func TestCheckLengthMismatch(t *testing.T) {
+	s := func(active bool) ([]uint64, error) {
+		if active {
+			return []uint64{1}, nil
+		}
+		return []uint64{1, 2}, nil
+	}
+	if err := Check(s); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// cacheScenario: victim hit/miss trace on a given policy with a thrashing
+// co-tenant.
+func cacheScenario(policy cache.Policy) Scenario {
+	return func(attackerActive bool) ([]uint64, error) {
+		l2, err := cache.New(cache.Config{
+			Name: "L2", Size: 64 << 10, LineSize: 64, Ways: 8,
+			Policy: policy, Domains: 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		victim := sim.NewRand(3)
+		attacker := sim.NewRand(4)
+		var trace []uint64
+		for i := 0; i < 3000; i++ {
+			if attackerActive {
+				for j := 0; j < 2; j++ {
+					l2.Access(mem.Addr(attacker.Intn(1<<22))&^63, 1, false)
+				}
+			}
+			if l2.Access(mem.Addr(victim.Intn(1<<15))&^63, 0, false) {
+				trace = append(trace, 1)
+			} else {
+				trace = append(trace, 0)
+			}
+		}
+		return trace, nil
+	}
+}
+
+func TestCachePolicyNoninterference(t *testing.T) {
+	if err := Check(cacheScenario(cache.Static)); err != nil {
+		t.Fatalf("static partition leaks: %v", err)
+	}
+	if err := MustLeak(cacheScenario(cache.Shared)); err != nil {
+		t.Fatalf("shared cache: %v", err)
+	}
+}
+
+// busScenario: victim grant times under each arbiter with a flooding
+// attacker.
+func busScenario(mk func() bus.Arbiter) Scenario {
+	return func(attackerActive bool) ([]uint64, error) {
+		arb := mk()
+		var grants []uint64
+		anow := uint64(0)
+		vnow := uint64(0)
+		for i := 0; i < 400; i++ {
+			if attackerActive {
+				for j := 0; j < 3; j++ {
+					anow = arb.Request(1, anow, 8) + 8
+				}
+			}
+			g := arb.Request(0, vnow, 8)
+			grants = append(grants, g)
+			vnow = g + 24
+		}
+		return grants, nil
+	}
+}
+
+func TestBusArbiterNoninterference(t *testing.T) {
+	if err := Check(busScenario(func() bus.Arbiter { return bus.NewTemporal(2, 60, 10) })); err != nil {
+		t.Fatalf("temporal partitioning leaks: %v", err)
+	}
+	if err := MustLeak(busScenario(func() bus.Arbiter { return bus.NewFIFO() })); err != nil {
+		t.Fatalf("FIFO: %v", err)
+	}
+	if err := MustLeak(busScenario(func() bus.Arbiter { return bus.NewRoundRobin(2, 512) })); err != nil {
+		t.Fatalf("round-robin: %v", err)
+	}
+}
+
+// coreScenario: end-to-end — a victim core's per-packet cycle timings
+// through the full S-NIC hierarchy (private L1, partitioned L2, temporal
+// bus) with an attacker core pounding the same shared structures.
+func coreScenario(snicMode bool) Scenario {
+	return func(attackerActive bool) ([]uint64, error) {
+		policy := cache.Shared
+		var arb bus.Arbiter = bus.NewFIFO()
+		if snicMode {
+			policy = cache.Static
+			arb = bus.NewTemporal(2, 60, 10)
+		}
+		l2, err := cache.New(cache.Config{
+			Name: "L2", Size: 128 << 10, LineSize: 64, Ways: 8,
+			Policy: policy, Domains: 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tr := bus.NewTracker(arb, 2)
+		mkCore := func(domain int) (*cpu.Core, error) {
+			l1, err := cache.New(cache.Config{
+				Name: "L1", Size: 8 << 10, LineSize: 64, Ways: 2, Domains: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return &cpu.Core{Domain: domain, L1: l1, L2: l2, Bus: tr, Lat: cpu.DefaultLatencies()}, nil
+		}
+		victim, err := mkCore(0)
+		if err != nil {
+			return nil, err
+		}
+		attacker, err := mkCore(1)
+		if err != nil {
+			return nil, err
+		}
+		vrng := sim.NewRand(7)
+		arng := sim.NewRand(8)
+		var perPacket []uint64
+		for p := 0; p < 300; p++ {
+			if attackerActive {
+				for j := 0; j < 20; j++ {
+					attacker.Step(cpu.Op{Kind: cpu.Load, Addr: mem.Addr(arng.Intn(1<<24)) &^ 63})
+				}
+			}
+			start := victim.Cycle()
+			for j := 0; j < 10; j++ {
+				victim.Step(cpu.Op{Kind: cpu.Load, Addr: mem.Addr(vrng.Intn(1<<16)) &^ 63})
+				victim.Step(cpu.Op{Kind: cpu.Compute, N: 20})
+			}
+			perPacket = append(perPacket, victim.Cycle()-start)
+		}
+		return perPacket, nil
+	}
+}
+
+func TestFullHierarchyNoninterference(t *testing.T) {
+	if err := Check(coreScenario(true)); err != nil {
+		t.Fatalf("S-NIC hierarchy leaks per-packet timing: %v", err)
+	}
+	if err := MustLeak(coreScenario(false)); err != nil {
+		t.Fatalf("commodity hierarchy: %v", err)
+	}
+}

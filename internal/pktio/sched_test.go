@@ -1,0 +1,127 @@
+package pktio
+
+import (
+	"testing"
+
+	"snic/internal/tlb"
+)
+
+func desc(i int) Descriptor { return Descriptor{VA: tlb.VAddr(i * 2048), Len: 64} }
+
+func TestSchedValidation(t *testing.T) {
+	if _, err := NewTxScheduler(SchedFIFO, 0, nil); err == nil {
+		t.Fatal("zero queues accepted")
+	}
+	if _, err := NewTxScheduler(SchedWRR, 2, []int{1}); err == nil {
+		t.Fatal("weight count mismatch accepted")
+	}
+	if _, err := NewTxScheduler(SchedWRR, 2, []int{1, 0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	s, err := NewTxScheduler(SchedFIFO, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Enqueue(0, desc(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Enqueue(1, desc(9)); err == nil {
+		t.Fatal("FIFO accepted queue 1")
+	}
+	for i := 0; i < 5; i++ {
+		it, ok := s.Dequeue()
+		if !ok || it.Desc != desc(i) {
+			t.Fatalf("pop %d = %+v", i, it)
+		}
+	}
+	if _, ok := s.Dequeue(); ok {
+		t.Fatal("empty dequeue succeeded")
+	}
+}
+
+func TestPriorityPreemptsLowQueues(t *testing.T) {
+	s, _ := NewTxScheduler(SchedPriority, 3, nil)
+	s.Enqueue(2, desc(20))
+	s.Enqueue(1, desc(10))
+	s.Enqueue(0, desc(0))
+	order := []int{0, 1, 2}
+	for _, q := range order {
+		it, ok := s.Dequeue()
+		if !ok || it.Queue != q {
+			t.Fatalf("got queue %d, want %d", it.Queue, q)
+		}
+	}
+}
+
+func TestWRRProportions(t *testing.T) {
+	s, _ := NewTxScheduler(SchedWRR, 2, []int{3, 1})
+	for i := 0; i < 40; i++ {
+		s.Enqueue(0, desc(i))
+		s.Enqueue(1, desc(100+i))
+	}
+	counts := map[int]int{}
+	for i := 0; i < 32; i++ {
+		it, ok := s.Dequeue()
+		if !ok {
+			t.Fatal("ran dry early")
+		}
+		counts[it.Queue]++
+	}
+	// 3:1 service ratio.
+	if counts[0] != 24 || counts[1] != 8 {
+		t.Fatalf("service = %v, want 24/8", counts)
+	}
+}
+
+func TestWRRWorkConserving(t *testing.T) {
+	s, _ := NewTxScheduler(SchedWRR, 2, []int{1, 1})
+	// Only queue 1 has traffic: it must be served continuously.
+	for i := 0; i < 4; i++ {
+		s.Enqueue(1, desc(i))
+	}
+	for i := 0; i < 4; i++ {
+		it, ok := s.Dequeue()
+		if !ok || it.Queue != 1 {
+			t.Fatalf("pop %d from queue %d", i, it.Queue)
+		}
+	}
+}
+
+func TestWRRDefaultsToEqualWeights(t *testing.T) {
+	s, err := NewTxScheduler(SchedWRR, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 3; q++ {
+		s.Enqueue(q, desc(q))
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		it, _ := s.Dequeue()
+		seen[it.Queue] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("equal-weight WRR starved queues: %v", seen)
+	}
+}
+
+func TestEnqueueBounds(t *testing.T) {
+	s, _ := NewTxScheduler(SchedPriority, 2, nil)
+	if err := s.Enqueue(-1, desc(0)); err == nil {
+		t.Fatal("negative queue accepted")
+	}
+	if err := s.Enqueue(2, desc(0)); err == nil {
+		t.Fatal("out-of-range queue accepted")
+	}
+}
+
+func TestAlgoString(t *testing.T) {
+	if SchedFIFO.String() != "fifo" || SchedPriority.String() != "priority" || SchedWRR.String() != "wrr" {
+		t.Fatal("algo names")
+	}
+}

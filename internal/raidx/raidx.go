@@ -1,0 +1,78 @@
+// Package raidx implements the XOR parity engine behind the RAID storage
+// accelerator (§5.2 / Table 7): scatter-gather parity generation and
+// single-erasure reconstruction over fixed-size stripes, as a RAID-5-style
+// offload would perform on behalf of a storage network function.
+package raidx
+
+import "fmt"
+
+// Stripe computes the XOR parity of the data blocks into parity. All
+// blocks must have identical lengths.
+func Stripe(data [][]byte, parity []byte) error {
+	for i, d := range data {
+		if len(d) != len(parity) {
+			return fmt.Errorf("raidx: block %d length %d != parity length %d", i, len(d), len(parity))
+		}
+	}
+	for i := range parity {
+		parity[i] = 0
+	}
+	for _, d := range data {
+		xorInto(parity, d)
+	}
+	return nil
+}
+
+// Reconstruct rebuilds the block at index lost from the survivors and the
+// parity, writing it into dst.
+func Reconstruct(data [][]byte, parity []byte, lost int, dst []byte) error {
+	if lost < 0 || lost >= len(data) {
+		return fmt.Errorf("raidx: lost index %d out of range", lost)
+	}
+	if len(dst) != len(parity) {
+		return fmt.Errorf("raidx: dst length %d != stripe length %d", len(dst), len(parity))
+	}
+	copy(dst, parity)
+	for i, d := range data {
+		if i == lost {
+			continue
+		}
+		if len(d) != len(parity) {
+			return fmt.Errorf("raidx: block %d length mismatch", i)
+		}
+		xorInto(dst, d)
+	}
+	return nil
+}
+
+// Verify checks that parity is consistent with data.
+func Verify(data [][]byte, parity []byte) (bool, error) {
+	check := make([]byte, len(parity))
+	if err := Stripe(data, check); err != nil {
+		return false, err
+	}
+	for i := range check {
+		if check[i] != parity[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// xorInto computes dst ^= src, 8 bytes at a time.
+func xorInto(dst, src []byte) {
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		dst[i] ^= src[i]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+		dst[i+4] ^= src[i+4]
+		dst[i+5] ^= src[i+5]
+		dst[i+6] ^= src[i+6]
+		dst[i+7] ^= src[i+7]
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= src[i]
+	}
+}

@@ -1,0 +1,150 @@
+package raidx
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"snic/internal/sim"
+)
+
+func blocks(t *testing.T, n, size int, seed uint64) [][]byte {
+	t.Helper()
+	rng := sim.NewRand(seed)
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Bytes(out[i])
+	}
+	return out
+}
+
+func TestStripeAndVerify(t *testing.T) {
+	data := blocks(t, 4, 4096, 1)
+	parity := make([]byte, 4096)
+	if err := Stripe(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Verify(data, parity)
+	if err != nil || !ok {
+		t.Fatalf("verify = %v, %v", ok, err)
+	}
+	// Corrupt one byte: verification must fail.
+	data[2][100] ^= 0xFF
+	ok, err = Verify(data, parity)
+	if err != nil || ok {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestReconstructEachBlock(t *testing.T) {
+	data := blocks(t, 5, 1024, 2)
+	parity := make([]byte, 1024)
+	if err := Stripe(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	for lost := range data {
+		dst := make([]byte, 1024)
+		if err := Reconstruct(data, parity, lost, dst); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dst, data[lost]) {
+			t.Fatalf("block %d reconstruction mismatch", lost)
+		}
+	}
+}
+
+func TestLengthMismatchRejected(t *testing.T) {
+	data := [][]byte{make([]byte, 10), make([]byte, 11)}
+	if err := Stripe(data, make([]byte, 10)); err == nil {
+		t.Fatal("length mismatch accepted by Stripe")
+	}
+	if err := Reconstruct(data, make([]byte, 10), 0, make([]byte, 10)); err == nil {
+		t.Fatal("length mismatch accepted by Reconstruct")
+	}
+}
+
+func TestBadLostIndex(t *testing.T) {
+	data := blocks(t, 2, 8, 3)
+	parity := make([]byte, 8)
+	Stripe(data, parity)
+	if err := Reconstruct(data, parity, -1, make([]byte, 8)); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := Reconstruct(data, parity, 2, make([]byte, 8)); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestBadDstLength(t *testing.T) {
+	data := blocks(t, 2, 8, 4)
+	parity := make([]byte, 8)
+	Stripe(data, parity)
+	if err := Reconstruct(data, parity, 0, make([]byte, 7)); err == nil {
+		t.Fatal("short dst accepted")
+	}
+}
+
+func TestOddLengths(t *testing.T) {
+	// Exercise the non-8-aligned tail of xorInto.
+	data := blocks(t, 3, 13, 5)
+	parity := make([]byte, 13)
+	if err := Stripe(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 13)
+	if err := Reconstruct(data, parity, 1, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, data[1]) {
+		t.Fatal("odd-length reconstruction mismatch")
+	}
+}
+
+func TestEmptyStripe(t *testing.T) {
+	parity := []byte{}
+	if err := Stripe(nil, parity); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reconstruction inverts erasure for random stripes.
+func TestReconstructProperty(t *testing.T) {
+	f := func(seed uint64, nBlocks, size uint8) bool {
+		n := 1 + int(nBlocks)%8
+		sz := 1 + int(size)%512
+		rng := sim.NewRand(seed)
+		data := make([][]byte, n)
+		for i := range data {
+			data[i] = make([]byte, sz)
+			rng.Bytes(data[i])
+		}
+		parity := make([]byte, sz)
+		if err := Stripe(data, parity); err != nil {
+			return false
+		}
+		lost := int(rng.Intn(n))
+		dst := make([]byte, sz)
+		if err := Reconstruct(data, parity, lost, dst); err != nil {
+			return false
+		}
+		return bytes.Equal(dst, data[lost])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStripe4x64K(b *testing.B) {
+	rng := sim.NewRand(1)
+	data := make([][]byte, 4)
+	for i := range data {
+		data[i] = make([]byte, 64<<10)
+		rng.Bytes(data[i])
+	}
+	parity := make([]byte, 64<<10)
+	b.SetBytes(4 * 64 << 10)
+	for i := 0; i < b.N; i++ {
+		Stripe(data, parity)
+	}
+}

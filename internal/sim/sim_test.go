@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced degenerate stream")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		n := 1 + r.Intn(100)
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRandFloat64Mean(t *testing.T) {
+	r := NewRand(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	r := NewRand(3)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(64)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRandBytes(t *testing.T) {
+	r := NewRand(5)
+	for _, n := range []int{0, 1, 7, 8, 9, 31, 64, 1000} {
+		b := make([]byte, n)
+		r.Bytes(b)
+		if n >= 32 {
+			allZero := true
+			for _, v := range b {
+				if v != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				t.Fatalf("Bytes(%d) produced all zeros", n)
+			}
+		}
+	}
+}
+
+func TestRandForkIndependence(t *testing.T) {
+	parent := NewRand(99)
+	child := parent.Fork()
+	// The child stream must differ from the parent's subsequent stream.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("fork stream matches parent %d/64 draws", same)
+	}
+}
+
+func TestZipfRanks(t *testing.T) {
+	z := NewZipf(NewRand(1), 1000, 1.1)
+	for i := 0; i < 100000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf rank %d out of range", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// Rank 0 must be sampled far more often than rank 999 with s=1.1.
+	z := NewZipf(NewRand(2), 1000, 1.1)
+	counts := make([]int, 1000)
+	const n = 500000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] < 20*counts[99] {
+		t.Fatalf("insufficient skew: rank0=%d rank99=%d", counts[0], counts[99])
+	}
+	// Empirical frequency of rank 0 should be near its analytic probability.
+	want := z.Prob(0)
+	got := float64(counts[0]) / n
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("rank-0 frequency %v, want ~%v", got, want)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(NewRand(3), 10, 0)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/10) > n/10*0.15 {
+			t.Fatalf("s=0 not uniform: rank %d count %d", i, c)
+		}
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(NewRand(4), 257, 1.1)
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.Median != 2 || s.N != 3 || s.Mean != 2 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if s.P1 > s.Median || s.Median > s.P99 {
+		t.Fatalf("percentiles out of order: %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	if m := Median([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Fatalf("median = %v, want 2.5", m)
+	}
+}
+
+func TestPercentileEndpoints(t *testing.T) {
+	xs := []float64{5, 1, 9, 3}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 1) != 9 {
+		t.Fatal("percentile endpoints wrong")
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.1 {
+			q := Percentile(xs, p)
+			if q < prev {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{9, 1, 5}
+	Summarize(xs)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Fatal("Summarize mutated its input")
+	}
+}

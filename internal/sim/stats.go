@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds the order statistics the paper reports for Figure 5:
+// the median with 1st and 99th percentile error bars.
+type Summary struct {
+	Median float64
+	P1     float64
+	P99    float64
+	Mean   float64
+	N      int
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for an
+// empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		Median: quantileSorted(s, 0.50),
+		P1:     quantileSorted(s, 0.01),
+		P99:    quantileSorted(s, 0.99),
+		Mean:   sum / float64(len(s)),
+		N:      len(s),
+	}
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, 0.50)
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, p)
+}
+
+func quantileSorted(s []float64, p float64) float64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

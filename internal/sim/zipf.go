@@ -1,0 +1,61 @@
+package sim
+
+import "math"
+
+// Zipf samples ranks in [0, N) with probability proportional to
+// 1/(rank+1)^s. The paper's ICTF workload pools 100,000 flows with a Zipf
+// skewness of 1.1 (§5.3); this sampler reproduces that distribution
+// deterministically via an inverted CDF.
+type Zipf struct {
+	cdf []float64 // cumulative, cdf[len-1] == 1
+	rng *Rand
+}
+
+// NewZipf builds a sampler over n ranks with exponent s using rng.
+// It panics if n <= 0 or s < 0.
+func NewZipf(rng *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("sim: Zipf with non-positive n")
+	}
+	if s < 0 {
+		panic("sim: Zipf with negative skew")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against FP rounding
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next returns the next sampled rank in [0, N).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

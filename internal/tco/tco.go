@@ -1,0 +1,72 @@
+// Package tco reproduces the paper's total-cost-of-ownership analysis
+// (§5.2): three-year per-core TCO of a LiquidIO-class smart NIC vs. a
+// host Xeon, and how S-NIC's +8.89% area (→ purchase price) and +11.45%
+// power draw shrink — but mostly preserve — the NIC's TCO advantage.
+package tco
+
+// Params are the published inputs.
+type Params struct {
+	Years             float64
+	ElectricityPerKWH float64 // $/kWh (US datacenter average)
+
+	NICWatts float64 // LiquidIO peak draw
+	NICPrice float64
+	NICCores int
+
+	HostWatts float64 // Intel E5-2680 v3
+	HostPrice float64
+	HostCores int
+
+	AreaOverheadPct  float64 // S-NIC chip-area increase (price proxy)
+	PowerOverheadPct float64 // S-NIC power increase
+}
+
+// PaperParams returns the §5.2 inputs.
+func PaperParams() Params {
+	return Params{
+		Years:             3,
+		ElectricityPerKWH: 0.0733,
+		NICWatts:          24.7,
+		NICPrice:          420,
+		NICCores:          12,
+		HostWatts:         113,
+		HostPrice:         1745,
+		HostCores:         12,
+		AreaOverheadPct:   8.89,
+		PowerOverheadPct:  11.45,
+	}
+}
+
+// Report is the computed analysis.
+type Report struct {
+	NICPerCore    float64 // $/core over the period (baseline NIC)
+	HostPerCore   float64
+	SNICPerCore   float64
+	AdvantageLoss float64 // fraction of the NIC's TCO advantage S-NIC gives up
+	AdvantageKept float64 // fraction preserved (the 91.6% headline)
+}
+
+func perCore(price, watts, years, rate float64, cores int) float64 {
+	hours := years * 365 * 24
+	energy := watts * hours / 1000 * rate
+	return (price + energy) / float64(cores)
+}
+
+// Compute runs the analysis.
+func Compute(p Params) Report {
+	nic := perCore(p.NICPrice, p.NICWatts, p.Years, p.ElectricityPerKWH, p.NICCores)
+	host := perCore(p.HostPrice, p.HostWatts, p.Years, p.ElectricityPerKWH, p.HostCores)
+	snicPrice := p.NICPrice * (1 + p.AreaOverheadPct/100)
+	snicWatts := p.NICWatts * (1 + p.PowerOverheadPct/100)
+	snicCore := perCore(snicPrice, snicWatts, p.Years, p.ElectricityPerKWH, p.NICCores)
+	// The paper expresses the NIC's advantage as the host/NIC TCO ratio;
+	// the loss is 1 - ratioSNIC/ratioNIC = 1 - nic/snic.
+	loss := 1 - nic/snicCore
+	return Report{
+		NICPerCore:    nic,
+		HostPerCore:   host,
+		SNICPerCore:   snicCore,
+		AdvantageLoss: loss,
+		AdvantageKept: 1 - loss,
+	}
+}

@@ -1,0 +1,56 @@
+package tco
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestPaperNumbers(t *testing.T) {
+	r := Compute(PaperParams())
+	approx(t, "NIC $/core", r.NICPerCore, 38.97, 0.05)
+	approx(t, "host $/core", r.HostPerCore, 163.56, 0.35)
+	approx(t, "S-NIC $/core", r.SNICPerCore, 42.53, 0.06)
+	approx(t, "advantage loss", r.AdvantageLoss, 0.0837, 0.002)
+	approx(t, "advantage kept", r.AdvantageKept, 0.916, 0.002)
+}
+
+func TestZeroOverheadKeepsEverything(t *testing.T) {
+	p := PaperParams()
+	p.AreaOverheadPct = 0
+	p.PowerOverheadPct = 0
+	r := Compute(p)
+	if r.AdvantageLoss != 0 || r.SNICPerCore != r.NICPerCore {
+		t.Fatalf("zero-overhead report: %+v", r)
+	}
+}
+
+func TestMoreOverheadCostsMore(t *testing.T) {
+	lo := PaperParams()
+	hi := PaperParams()
+	hi.AreaOverheadPct *= 2
+	hi.PowerOverheadPct *= 2
+	if Compute(hi).AdvantageLoss <= Compute(lo).AdvantageLoss {
+		t.Fatal("loss not monotone in overhead")
+	}
+}
+
+func TestElectricityScalesEnergyOnly(t *testing.T) {
+	p := PaperParams()
+	base := Compute(p)
+	p.ElectricityPerKWH *= 2
+	r := Compute(p)
+	if r.NICPerCore <= base.NICPerCore || r.HostPerCore <= base.HostPerCore {
+		t.Fatal("electricity price ignored")
+	}
+	// Purchase share is unaffected: doubling $/kWh must not double TCO.
+	if r.NICPerCore >= 2*base.NICPerCore {
+		t.Fatal("TCO doubled — purchase cost lost")
+	}
+}

@@ -1,0 +1,156 @@
+// Package tlb models the translation hardware S-NIC places in front of
+// programmable cores, accelerator clusters, packet schedulers, and DMA
+// banks (§4.2–§4.4 of the paper).
+//
+// Two mechanisms matter for isolation:
+//
+//   - Locked TLB banks. nf_launch installs a small number of
+//     variable-page-size entries covering exactly the NF's memory, then
+//     locks the bank read-only. Any later miss is treated as a fatal NF
+//     bug ("any subsequent TLB misses represent a bug in the network
+//     function, and cause S-NIC to destroy the function").
+//
+//   - Denylist page tables. The management core keeps its normal page
+//     table, but every attempt to install a virtual→physical mapping is
+//     dual-walked (EPT-style) against a hardware-private denylist; if the
+//     physical page belongs to a live NF, the fill is rejected. This is
+//     how the untrusted NIC OS is excluded from NF memory without
+//     trusting the NIC OS's own paging code.
+package tlb
+
+import (
+	"fmt"
+	"sort"
+
+	"snic/internal/mem"
+)
+
+// Perm is a permission bitmask for a mapping.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+	PermRW = PermRead | PermWrite
+)
+
+// VAddr is a virtual address in an NF's (or device's) address space.
+type VAddr uint64
+
+// Entry maps a contiguous virtual page to a physical page.
+type Entry struct {
+	VA   VAddr    // virtual base, aligned to Size
+	PA   mem.Addr // physical base, aligned to Size
+	Size uint64   // page size in bytes (variable: 128 KB .. 128 MB)
+	Perm Perm
+}
+
+func (e Entry) contains(va VAddr) bool {
+	return va >= e.VA && uint64(va-e.VA) < e.Size
+}
+
+// Errors returned by the TLB hardware.
+var (
+	ErrMiss      = fmt.Errorf("tlb: miss (fatal for a locked S-NIC bank)")
+	ErrPerm      = fmt.Errorf("tlb: permission violation")
+	ErrLocked    = fmt.Errorf("tlb: bank is locked")
+	ErrFull      = fmt.Errorf("tlb: bank is full")
+	ErrDenied    = fmt.Errorf("tlb: physical page is denylisted")
+	ErrBadEntry  = fmt.Errorf("tlb: malformed entry")
+	ErrNotLocked = fmt.Errorf("tlb: bank must be locked before use")
+)
+
+// Bank is a fully-associative TLB with a fixed number of entries.
+// S-NIC banks are filled by nf_launch and then locked.
+type Bank struct {
+	capacity int
+	entries  []Entry
+	locked   bool
+	// Misses counts failed translations; on a locked bank every miss is
+	// fatal to the owning NF, so the owner watches this via the device.
+	misses uint64
+}
+
+// NewBank returns an empty bank with the given entry capacity.
+func NewBank(capacity int) *Bank {
+	return &Bank{capacity: capacity}
+}
+
+// Capacity returns the maximum number of entries.
+func (b *Bank) Capacity() int { return b.capacity }
+
+// Len returns the number of installed entries.
+func (b *Bank) Len() int { return len(b.entries) }
+
+// Locked reports whether the bank has been locked read-only.
+func (b *Bank) Locked() bool { return b.locked }
+
+// Misses returns the count of failed translations.
+func (b *Bank) Misses() uint64 { return b.misses }
+
+// Install adds an entry. It fails if the bank is locked, full, the entry
+// is malformed, or it overlaps an existing virtual range.
+func (b *Bank) Install(e Entry) error {
+	if b.locked {
+		return ErrLocked
+	}
+	if len(b.entries) >= b.capacity {
+		return ErrFull
+	}
+	if e.Size == 0 || uint64(e.VA)%e.Size != 0 || uint64(e.PA)%e.Size != 0 || e.Perm == 0 {
+		return ErrBadEntry
+	}
+	for _, x := range b.entries {
+		if uint64(e.VA) < uint64(x.VA)+x.Size && uint64(x.VA) < uint64(e.VA)+e.Size {
+			return fmt.Errorf("%w: VA overlap [%#x,+%#x)", ErrBadEntry, e.VA, e.Size)
+		}
+	}
+	b.entries = append(b.entries, e)
+	sort.Slice(b.entries, func(i, j int) bool { return b.entries[i].VA < b.entries[j].VA })
+	return nil
+}
+
+// Lock makes the bank read-only. After Lock, Install fails and misses are
+// fatal errors surfaced to the device.
+func (b *Bank) Lock() { b.locked = true }
+
+// Translate resolves va with the required permission, returning the
+// physical address.
+func (b *Bank) Translate(va VAddr, need Perm) (mem.Addr, error) {
+	// Binary search over sorted, non-overlapping entries.
+	lo, hi := 0, len(b.entries)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		e := b.entries[mid]
+		switch {
+		case e.contains(va):
+			if e.Perm&need != need {
+				return 0, ErrPerm
+			}
+			return e.PA + mem.Addr(uint64(va-e.VA)), nil
+		case va < e.VA:
+			hi = mid - 1
+		default:
+			lo = mid + 1
+		}
+	}
+	b.misses++
+	return 0, ErrMiss
+}
+
+// Entries returns a copy of the installed entries (for attestation
+// hashing and tests).
+func (b *Bank) Entries() []Entry {
+	return append([]Entry(nil), b.entries...)
+}
+
+// TotalMapped returns the number of virtual bytes the bank covers.
+func (b *Bank) TotalMapped() uint64 {
+	var n uint64
+	for _, e := range b.entries {
+		n += e.Size
+	}
+	return n
+}

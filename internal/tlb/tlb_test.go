@@ -1,0 +1,278 @@
+package tlb
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"snic/internal/mem"
+	"snic/internal/sim"
+)
+
+const page = 1 << 17 // 128 KB
+
+func entry(vaPage, paPage int, perm Perm) Entry {
+	return Entry{
+		VA:   VAddr(vaPage * page),
+		PA:   mem.Addr(paPage * page),
+		Size: page,
+		Perm: perm,
+	}
+}
+
+func TestInstallAndTranslate(t *testing.T) {
+	b := NewBank(4)
+	if err := b.Install(entry(0, 10, PermRW)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Install(entry(1, 20, PermRead)); err != nil {
+		t.Fatal(err)
+	}
+	pa, err := b.Translate(VAddr(100), PermRead)
+	if err != nil || pa != mem.Addr(10*page+100) {
+		t.Fatalf("translate = %#x, %v", pa, err)
+	}
+	pa, err = b.Translate(VAddr(page+5), PermRead)
+	if err != nil || pa != mem.Addr(20*page+5) {
+		t.Fatalf("translate = %#x, %v", pa, err)
+	}
+}
+
+func TestTranslateMiss(t *testing.T) {
+	b := NewBank(2)
+	b.Install(entry(0, 1, PermRW))
+	if _, err := b.Translate(VAddr(5*page), PermRead); !errors.Is(err, ErrMiss) {
+		t.Fatalf("err = %v", err)
+	}
+	if b.Misses() != 1 {
+		t.Fatalf("misses = %d", b.Misses())
+	}
+}
+
+func TestTranslatePermission(t *testing.T) {
+	b := NewBank(2)
+	b.Install(entry(0, 1, PermRead))
+	if _, err := b.Translate(0, PermWrite); !errors.Is(err, ErrPerm) {
+		t.Fatalf("err = %v", err)
+	}
+	// A permission violation is not a miss.
+	if b.Misses() != 0 {
+		t.Fatal("permission fault counted as miss")
+	}
+}
+
+func TestLockPreventsInstall(t *testing.T) {
+	b := NewBank(2)
+	b.Install(entry(0, 1, PermRW))
+	b.Lock()
+	if err := b.Install(entry(1, 2, PermRW)); !errors.Is(err, ErrLocked) {
+		t.Fatalf("err = %v", err)
+	}
+	if !b.Locked() {
+		t.Fatal("not locked")
+	}
+	// Translation still works when locked.
+	if _, err := b.Translate(0, PermRead); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	b := NewBank(1)
+	b.Install(entry(0, 1, PermRW))
+	if err := b.Install(entry(1, 2, PermRW)); !errors.Is(err, ErrFull) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRejectMalformedEntries(t *testing.T) {
+	b := NewBank(4)
+	bad := []Entry{
+		{VA: 0, PA: 0, Size: 0, Perm: PermRW},    // zero size
+		{VA: 5, PA: 0, Size: page, Perm: PermRW}, // unaligned VA
+		{VA: 0, PA: 5, Size: page, Perm: PermRW}, // unaligned PA
+		{VA: 0, PA: 0, Size: page, Perm: 0},      // no perms
+	}
+	for i, e := range bad {
+		if err := b.Install(e); !errors.Is(err, ErrBadEntry) {
+			t.Errorf("bad entry %d accepted: %v", i, err)
+		}
+	}
+}
+
+func TestRejectOverlap(t *testing.T) {
+	b := NewBank(4)
+	b.Install(Entry{VA: 0, PA: 0, Size: 4 * page, Perm: PermRW})
+	overlap := Entry{VA: 2 * page, PA: mem.Addr(8 * page), Size: page, Perm: PermRW}
+	if err := b.Install(overlap); !errors.Is(err, ErrBadEntry) {
+		t.Fatalf("overlap accepted: %v", err)
+	}
+}
+
+func TestVariablePageSizes(t *testing.T) {
+	b := NewBank(3)
+	sizes := []uint64{128 << 10, 2 << 20, 32 << 20}
+	va := uint64(0)
+	pa := uint64(1 << 30)
+	for _, s := range sizes {
+		va = (va + s - 1) / s * s
+		pa = (pa + s - 1) / s * s
+		if err := b.Install(Entry{VA: VAddr(va), PA: mem.Addr(pa), Size: s, Perm: PermRW}); err != nil {
+			t.Fatalf("size %d: %v", s, err)
+		}
+		got, err := b.Translate(VAddr(va+s-1), PermRead)
+		if err != nil || got != mem.Addr(pa+s-1) {
+			t.Fatalf("size %d: translate last byte = %#x, %v", s, got, err)
+		}
+		va += s
+		pa += s
+	}
+	if b.TotalMapped() != (128<<10)+(2<<20)+(32<<20) {
+		t.Fatalf("TotalMapped = %d", b.TotalMapped())
+	}
+}
+
+func TestDenylistDeniesAndAllows(t *testing.T) {
+	d := NewDenylist(page)
+	d.Deny(mem.Addr(4*page), 2*page, mem.FirstNF)
+	if !d.Denied(mem.Addr(4*page), 1) || !d.Denied(mem.Addr(5*page+10), 1) {
+		t.Fatal("denied range not detected")
+	}
+	if d.Denied(mem.Addr(3*page), page) {
+		t.Fatal("false positive below range")
+	}
+	// Straddling access touches a denied frame.
+	if !d.Denied(mem.Addr(3*page+page/2), page) {
+		t.Fatal("straddling access not detected")
+	}
+	d.Allow(mem.Addr(4*page), 2*page)
+	if d.Denied(mem.Addr(4*page), 2*page) {
+		t.Fatal("allow did not clear")
+	}
+}
+
+func TestDenylistAllowOwner(t *testing.T) {
+	d := NewDenylist(page)
+	d.Deny(0, 2*page, mem.FirstNF)
+	d.Deny(mem.Addr(10*page), page, mem.FirstNF+1)
+	if n := d.AllowOwner(mem.FirstNF); n != 2 {
+		t.Fatalf("allowlisted %d frames", n)
+	}
+	if d.Denied(0, 2*page) {
+		t.Fatal("owner frames still denied")
+	}
+	if !d.Denied(mem.Addr(10*page), 1) {
+		t.Fatal("other owner's frames cleared")
+	}
+}
+
+func TestGuardedBankRejectsDeniedFill(t *testing.T) {
+	d := NewDenylist(page)
+	d.Deny(mem.Addr(8*page), page, mem.FirstNF)
+	g := NewGuardedBank(8, d)
+	// Mapping to an NF-owned physical page must be rejected at fill time.
+	err := g.Install(entry(0, 8, PermRW))
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("denied fill accepted: %v", err)
+	}
+	// A mapping to free memory is fine.
+	if err := g.Install(entry(0, 2, PermRW)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Translate(0, PermRead); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardedBankRevokesStaleMapping(t *testing.T) {
+	d := NewDenylist(page)
+	g := NewGuardedBank(8, d)
+	if err := g.Install(entry(0, 3, PermRW)); err != nil {
+		t.Fatal(err)
+	}
+	// The OS held a valid mapping; then an NF launched over that memory.
+	d.Deny(mem.Addr(3*page), page, mem.FirstNF)
+	if _, err := g.Translate(0, PermRead); !errors.Is(err, ErrDenied) {
+		t.Fatalf("stale mapping still usable: %v", err)
+	}
+}
+
+func TestGuardedBankEvict(t *testing.T) {
+	d := NewDenylist(page)
+	g := NewGuardedBank(8, d)
+	g.Install(entry(0, 3, PermRW))
+	if !g.Evict(VAddr(10)) {
+		t.Fatal("evict failed")
+	}
+	if g.Evict(VAddr(10)) {
+		t.Fatal("double evict succeeded")
+	}
+	if _, err := g.Translate(0, PermRead); !errors.Is(err, ErrMiss) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEntriesReturnsCopy(t *testing.T) {
+	b := NewBank(2)
+	b.Install(entry(0, 1, PermRW))
+	es := b.Entries()
+	es[0].PA = 0xDEAD0000
+	if pa, _ := b.Translate(0, PermRead); pa == 0xDEAD0000 {
+		t.Fatal("Entries exposed internal state")
+	}
+}
+
+// Property: for any set of non-overlapping entries, every address inside
+// a mapping translates to the right physical byte, and every address
+// outside all mappings misses.
+func TestTranslationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		b := NewBank(16)
+		type m struct {
+			va   uint64
+			pa   uint64
+			size uint64
+		}
+		var installed []m
+		va := uint64(0)
+		for i := 0; i < 8; i++ {
+			size := uint64(1) << (12 + rng.Intn(8)) // 4KB..512KB
+			va = (va + size - 1) / size * size
+			if rng.Intn(3) == 0 {
+				va += size // leave a hole
+			}
+			pa := (uint64(rng.Intn(1<<12)) << 20) / size * size
+			if err := b.Install(Entry{VA: VAddr(va), PA: mem.Addr(pa), Size: size, Perm: PermRW}); err != nil {
+				return false
+			}
+			installed = append(installed, m{va, pa, size})
+			va += size
+		}
+		for trial := 0; trial < 200; trial++ {
+			q := uint64(rng.Intn(int(va + 1<<20)))
+			var want *m
+			for i := range installed {
+				e := &installed[i]
+				if q >= e.va && q < e.va+e.size {
+					want = e
+					break
+				}
+			}
+			got, err := b.Translate(VAddr(q), PermRead)
+			if want == nil {
+				if err == nil {
+					return false
+				}
+				continue
+			}
+			if err != nil || uint64(got) != want.pa+(q-want.va) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Record/replay: experiments can persist the exact frame sequence they
+// generated (a stand-in for the pcap workflows used with real traces) and
+// replay it byte-identically later. The format is deliberately minimal:
+//
+//	magic "SNICTRC1" | uint32 count | count x (uint32 len | frame bytes)
+//
+// all little-endian.
+
+var recMagic = [8]byte{'S', 'N', 'I', 'C', 'T', 'R', 'C', '1'}
+
+// maxFrame bounds a single recorded frame (jumbo + encap headroom).
+const maxFrame = 64 << 10
+
+// SaveFrames writes frames to w.
+func SaveFrames(w io.Writer, frames [][]byte) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(recMagic[:]); err != nil {
+		return err
+	}
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(frames)))
+	if _, err := bw.Write(n[:]); err != nil {
+		return err
+	}
+	for i, f := range frames {
+		if len(f) > maxFrame {
+			return fmt.Errorf("trace: frame %d is %d bytes (max %d)", i, len(f), maxFrame)
+		}
+		binary.LittleEndian.PutUint32(n[:], uint32(len(f)))
+		if _, err := bw.Write(n[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(f); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFrames reads a trace written by SaveFrames.
+func LoadFrames(r io.Reader) ([][]byte, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: header: %w", err)
+	}
+	if magic != recMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	var n [4]byte
+	if _, err := io.ReadFull(br, n[:]); err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint32(n[:])
+	// Don't trust the header for preallocation: a corrupt count would
+	// otherwise allocate gigabytes before the first frame read fails.
+	capHint := count
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	frames := make([][]byte, 0, capHint)
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(br, n[:]); err != nil {
+			return nil, fmt.Errorf("trace: frame %d length: %w", i, err)
+		}
+		l := binary.LittleEndian.Uint32(n[:])
+		if l > maxFrame {
+			return nil, fmt.Errorf("trace: frame %d claims %d bytes", i, l)
+		}
+		f := make([]byte, l)
+		if _, err := io.ReadFull(br, f); err != nil {
+			return nil, fmt.Errorf("trace: frame %d body: %w", i, err)
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
+}
+
+// Frames generates n marshaled wire frames from the pool (convenience for
+// recording and for feeding pktio.Switch.Deliver in examples/benches).
+func (p *Pool) Frames(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		_, pk := p.NextPacket(IMIXLen(p.rng))
+		out[i] = pk.Marshal()
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"fmt"
+
+	"snic/internal/sim"
+)
+
+// FirewallRule is a 5-tuple predicate with wildcards, in the style of the
+// Emerging Threats firewall rulesets the paper configures (643 rules).
+type FirewallRule struct {
+	SrcIP, SrcMask uint32
+	DstIP, DstMask uint32
+	SrcPortLo      uint16
+	SrcPortHi      uint16
+	DstPortLo      uint16
+	DstPortHi      uint16
+	Proto          uint8 // 0 = any
+	Drop           bool
+}
+
+// Matches reports whether the rule matches the tuple fields.
+func (r FirewallRule) Matches(srcIP, dstIP uint32, srcPort, dstPort uint16, proto uint8) bool {
+	if r.Proto != 0 && r.Proto != proto {
+		return false
+	}
+	if srcIP&r.SrcMask != r.SrcIP&r.SrcMask {
+		return false
+	}
+	if dstIP&r.DstMask != r.DstIP&r.DstMask {
+		return false
+	}
+	if srcPort < r.SrcPortLo || srcPort > r.SrcPortHi {
+		return false
+	}
+	return dstPort >= r.DstPortLo && dstPort <= r.DstPortHi
+}
+
+// FirewallRules synthesizes n rules with a realistic mix of prefix widths
+// and port ranges. Roughly 70% are drop rules, like public threat lists.
+func FirewallRules(rng *sim.Rand, n int) []FirewallRule {
+	rules := make([]FirewallRule, n)
+	for i := range rules {
+		srcLen := []int{0, 8, 16, 24, 32}[rng.Intn(5)]
+		dstLen := []int{0, 16, 24, 32}[rng.Intn(4)]
+		r := FirewallRule{
+			SrcIP: rng.Uint32(), SrcMask: maskOf(srcLen),
+			DstIP: rng.Uint32(), DstMask: maskOf(dstLen),
+			SrcPortLo: 0, SrcPortHi: 65535,
+			Drop: rng.Intn(10) < 7,
+		}
+		if rng.Intn(2) == 0 {
+			p := uint16(rng.Intn(1024))
+			r.DstPortLo, r.DstPortHi = p, p
+		} else {
+			r.DstPortLo, r.DstPortHi = 0, 65535
+		}
+		if rng.Intn(3) != 0 {
+			r.Proto = 6
+		}
+		rules[i] = r
+	}
+	return rules
+}
+
+func maskOf(length int) uint32 {
+	if length == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - length)
+}
+
+// DPIPatterns synthesizes n byte patterns with the length distribution of
+// public IDS content strings (most 4–24 bytes, a tail to ~64). The paper
+// extracts 33,471 patterns from six open-source rulesets; rule *content*
+// doesn't affect any reported number, only count and size do.
+func DPIPatterns(rng *sim.Rand, n int) [][]byte {
+	out := make([][]byte, n)
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		l := 4 + rng.Intn(21)
+		if rng.Intn(10) == 0 {
+			l = 24 + rng.Intn(41)
+		}
+		p := make([]byte, l)
+		for j := range p {
+			// Mostly printable, as real content strings are.
+			p[j] = byte(0x20 + rng.Intn(95))
+		}
+		s := string(p)
+		if seen[s] {
+			i--
+			continue
+		}
+		seen[s] = true
+		out[i] = p
+	}
+	return out
+}
+
+// Route is an LPM route.
+type Route struct {
+	Prefix  uint32
+	Length  int
+	NextHop uint16
+}
+
+// Routes synthesizes n routes the way the NetBricks LPM benchmark does
+// ("we generate 16,000 random rules to construct the lookup table"),
+// biased toward the /16–/24 range of real tables.
+func Routes(rng *sim.Rand, n int) []Route {
+	out := make([]Route, n)
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		length := 8 + rng.Intn(17) // 8..24
+		if rng.Intn(8) == 0 {
+			length = 25 + rng.Intn(8) // 25..32
+		}
+		prefix := rng.Uint32() & maskOf(length)
+		k := uint64(prefix)<<8 | uint64(length)
+		if seen[k] {
+			i--
+			continue
+		}
+		seen[k] = true
+		out[i] = Route{Prefix: prefix, Length: length, NextHop: uint16(rng.Intn(256))}
+	}
+	return out
+}
+
+// Backends names n load-balancer backends.
+func Backends(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.64.%d.%d:8080", i/256, i%256)
+	}
+	return out
+}
