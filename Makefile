@@ -1,0 +1,36 @@
+GO ?= go
+
+# Tier-1 verification: everything CI (and the next PR's author) must keep
+# green. `race` exercises the experiment engine's worker pool across all
+# packages; the exp tests include worker-count-invariance and golden-file
+# checks, so this target is the full reproducibility gate.
+.PHONY: verify
+verify: build vet test race
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./...
+
+# Regenerate the committed golden renderings after an intentional change
+# to a model constant, a workload, or a table format.
+.PHONY: golden
+golden:
+	$(GO) test ./internal/exp -update
+
+# Repository-level benchmarks: one per table/figure, plus ablations and
+# the engine parallel-vs-serial speedup pair.
+.PHONY: bench
+bench:
+	$(GO) test -bench=. -benchmem .

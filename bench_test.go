@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"runtime"
 	"testing"
 
 	"snic/internal/accel"
@@ -187,6 +188,59 @@ func BenchmarkFigure8DPIThroughput(b *testing.B) {
 			b.ReportMetric(r.Mpps, "Mpps-16thr-9KB")
 		}
 	}
+}
+
+// --- Engine parallel-vs-serial speedup -----------------------------------
+
+// The experiment engine must turn worker count into wall-clock speedup
+// while emitting byte-identical rows (exp's TestWorkerCountInvariance
+// pins the latter). Compare ns/op across the worker sub-benchmarks: on a
+// machine with >= 4 cores, the 4-worker runs of these sweeps (6 jobs for
+// ProfileNFs, 18 for Figure5b) are expected to be at least ~2x faster
+// than 1-worker runs. On fewer cores the jobs timeslice and the ratio
+// collapses toward 1x — each sub-benchmark reports its GOMAXPROCS so the
+// ratio can be interpreted.
+
+func BenchmarkEngineProfileNFs(b *testing.B) {
+	cfg := nf.SuiteConfig{
+		FirewallRules: 643, DPIPatterns: 2000, Routes: 16000, Backends: 64, Seed: 1,
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(workerName(w), func(b *testing.B) {
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			r := &exp.Runner{Workers: w}
+			for i := 0; i < b.N; i++ {
+				if _, err := r.ProfileNFs(cfg, 20000, 60000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEngineFigure5b(b *testing.B) {
+	cfg := exp.Fig5Config{
+		PoolFlows:    5000,
+		WarmupInstr:  20000,
+		MeasureInstr: 60000,
+		Colocations:  2,
+		Seed:         1,
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(workerName(w), func(b *testing.B) {
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			r := &exp.Runner{Workers: w}
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Figure5b(cfg, []int{2, 4, 8}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func workerName(w int) string {
+	return map[int]string{1: "1worker", 2: "2workers", 4: "4workers"}[w]
 }
 
 // --- Ablations -----------------------------------------------------------

@@ -4,10 +4,18 @@
 //	snicbench -experiment all            # everything (minutes at -scale full)
 //	snicbench -experiment table2         # one table
 //	snicbench -experiment fig5a -scale small
+//	snicbench -experiment fig5b -workers 8 -v
 //
 // Experiments: table2 table3 table4 table5 table6 table7 table8 tco
 // headline fig5a fig5b fig6 fig7 fig8 all. (Attack demos live in
 // cmd/snicattack.)
+//
+// Sweeps run on the internal/engine worker pool. Output is bit-identical
+// for every -workers value (each configuration point draws from an RNG
+// derived from its stable job key, never from scheduling order), so
+// -workers trades wall-clock only. -v reports per-sweep engine metrics
+// on stderr: job counts, wall time vs summed job time, and the slowest
+// configuration point.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"snic/internal/engine"
 	"snic/internal/exp"
 	"snic/internal/nf"
 )
@@ -24,12 +33,23 @@ func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run")
 	scale := flag.String("scale", "medium", "fidelity: small | medium | full")
 	format := flag.String("format", "text", "output format: text | csv | json")
+	workers := flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "report engine metrics per sweep on stderr")
 	flag.Parse()
 
 	outFmt, err := exp.ParseFormat(*format)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snicbench:", err)
 		os.Exit(2)
+	}
+
+	runner := &exp.Runner{Workers: *workers}
+	if *verbose {
+		runner.Observe = func(m engine.Metrics) { fmt.Fprintln(os.Stderr, m.String()) }
+		runner.OnJob = func(s engine.JobStat) {
+			fmt.Fprintf(os.Stderr, "engine: %s/%s done in %v (worker %d)\n",
+				s.Experiment, s.Key, s.Duration, s.Worker)
+		}
 	}
 	emit := func(t exp.Table) error {
 		s, err := t.Render(outFmt)
@@ -55,7 +75,7 @@ func main() {
 	run("table3", func() error { return emit(exp.Table3()) })
 	run("table4", func() error { return emit(exp.Table4()) })
 	run("table5", func() error {
-		t, err := exp.Table5()
+		t, err := runner.Table5()
 		if err != nil {
 			return err
 		}
@@ -67,7 +87,7 @@ func main() {
 			return nil
 		}
 		var err error
-		profiles, err = exp.ProfileNFs(cfgs.suite, cfgs.flows, cfgs.packets)
+		profiles, err = runner.ProfileNFs(cfgs.suite, cfgs.flows, cfgs.packets)
 		return err
 	}
 	run("table6", func() error {
@@ -77,7 +97,7 @@ func main() {
 		return emit(exp.Table6(profiles))
 	})
 	run("table7", func() error {
-		t, err := exp.Table7(0)
+		t, err := runner.Table7(0)
 		if err != nil {
 			return err
 		}
@@ -92,7 +112,7 @@ func main() {
 	run("tco", func() error { return emit(exp.TCO()) })
 	run("headline", func() error { return emit(exp.Headline()) })
 	run("fig5a", func() error {
-		rows, err := exp.Figure5a(cfgs.fig5, cfgs.l2Sizes)
+		rows, err := runner.Figure5a(cfgs.fig5, cfgs.l2Sizes)
 		if err != nil {
 			return err
 		}
@@ -104,7 +124,7 @@ func main() {
 		return nil
 	})
 	run("fig5b", func() error {
-		rows, err := exp.Figure5b(cfgs.fig5, cfgs.counts)
+		rows, err := runner.Figure5b(cfgs.fig5, cfgs.counts)
 		if err != nil {
 			return err
 		}
@@ -120,21 +140,25 @@ func main() {
 		return nil
 	})
 	run("fig6", func() error {
-		rows, err := exp.Figure6()
+		rows, err := runner.Figure6()
 		if err != nil {
 			return err
 		}
 		return emit(exp.RenderFig6(rows))
 	})
 	run("fig7", func() error {
-		series, err := exp.Figure7(cfgs.fig7Seconds, cfgs.fig7Rate, 150)
+		series, err := runner.Figure7(cfgs.fig7Seconds, cfgs.fig7Rate, 150)
 		if err != nil {
 			return err
 		}
 		return emit(exp.RenderFig7(series))
 	})
 	run("fig8", func() error {
-		return emit(exp.RenderFig8(exp.Figure8(cfgs.fig8Requests)))
+		rows, err := runner.Figure8(cfgs.fig8Requests)
+		if err != nil {
+			return err
+		}
+		return emit(exp.RenderFig8(rows))
 	})
 	if *experiment != "all" && !ranAny(*experiment) {
 		fmt.Fprintf(os.Stderr, "snicbench: unknown experiment %q\n", *experiment)

@@ -6,6 +6,7 @@ import (
 	"snic/internal/bus"
 	"snic/internal/cache"
 	"snic/internal/cpu"
+	"snic/internal/engine"
 	"snic/internal/mem"
 	"snic/internal/nf"
 	"snic/internal/sim"
@@ -160,6 +161,14 @@ func partnersFor(cfg Fig5Config, target string, groupSize, count int) [][]string
 
 // Figure5a sweeps L2 size with 2 co-located NFs.
 func Figure5a(cfg Fig5Config, l2Sizes []uint64) ([]Fig5Row, error) {
+	return defaultRunner.Figure5a(cfg, l2Sizes)
+}
+
+// Figure5a decomposes the cache sweep into one engine job per
+// (L2 size, target NF) point. The colocation simulator derives all of
+// its randomness from cfg.Seed, so every point is already a pure
+// function of (cfg, size, target) and safe to run on any worker.
+func (r *Runner) Figure5a(cfg Fig5Config, l2Sizes []uint64) ([]Fig5Row, error) {
 	cfg.defaults()
 	if len(l2Sizes) == 0 {
 		l2Sizes = []uint64{
@@ -167,52 +176,69 @@ func Figure5a(cfg Fig5Config, l2Sizes []uint64) ([]Fig5Row, error) {
 			512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20,
 		}
 	}
-	var rows []Fig5Row
+	var jobs []engine.Job[Fig5Row]
 	for _, size := range l2Sizes {
 		for _, target := range nf.Names {
-			var degs []float64
-			for _, group := range partnersFor(cfg, target, 2, 0) {
-				base, snicIPC, err := colocation(cfg, group, size)
-				if err != nil {
-					return nil, err
-				}
-				degs = append(degs, degradation(base[0], snicIPC[0]))
-			}
-			s := sim.Summarize(degs)
-			rows = append(rows, Fig5Row{
-				NF: target, X: sizeLabel(size),
-				Median: s.Median, P1: s.P1, P99: s.P99,
+			jobs = append(jobs, engine.Job[Fig5Row]{
+				Experiment: "fig5a",
+				Key:        sizeLabel(size) + "/" + target,
+				Run: func(*sim.Rand) (Fig5Row, error) {
+					return cachePoint(cfg, target, 2, 0, size)
+				},
 			})
 		}
 	}
-	return rows, nil
+	return runJobs(r, cfg.Seed, jobs)
 }
 
 // Figure5b sweeps co-tenancy at a fixed 4 MB L2.
 func Figure5b(cfg Fig5Config, counts []int) ([]Fig5Row, error) {
+	return defaultRunner.Figure5b(cfg, counts)
+}
+
+// Figure5b decomposes the co-tenancy sweep into one engine job per
+// (tenant count, target NF) point.
+func (r *Runner) Figure5b(cfg Fig5Config, counts []int) ([]Fig5Row, error) {
 	cfg.defaults()
 	if len(counts) == 0 {
 		counts = []int{2, 3, 4, 8, 16}
 	}
-	var rows []Fig5Row
+	var jobs []engine.Job[Fig5Row]
 	for _, n := range counts {
 		for _, target := range nf.Names {
-			var degs []float64
-			for _, group := range partnersFor(cfg, target, n, cfg.Colocations) {
-				base, snicIPC, err := colocation(cfg, group, 4<<20)
-				if err != nil {
-					return nil, err
-				}
-				degs = append(degs, degradation(base[0], snicIPC[0]))
-			}
-			s := sim.Summarize(degs)
-			rows = append(rows, Fig5Row{
-				NF: target, X: fmt.Sprintf("%d NFs", n),
-				Median: s.Median, P1: s.P1, P99: s.P99,
+			jobs = append(jobs, engine.Job[Fig5Row]{
+				Experiment: "fig5b",
+				Key:        fmt.Sprintf("%dNFs/%s", n, target),
+				Run: func(*sim.Rand) (Fig5Row, error) {
+					row, err := cachePoint(cfg, target, n, cfg.Colocations, 4<<20)
+					if err != nil {
+						return Fig5Row{}, err
+					}
+					row.X = fmt.Sprintf("%d NFs", n)
+					return row, nil
+				},
 			})
 		}
 	}
-	return rows, nil
+	return runJobs(r, cfg.Seed, jobs)
+}
+
+// cachePoint measures one Figure 5 point: the target NF's degradation
+// distribution over its sampled colocation groups at one L2 size.
+func cachePoint(cfg Fig5Config, target string, groupSize, count int, l2Size uint64) (Fig5Row, error) {
+	var degs []float64
+	for _, group := range partnersFor(cfg, target, groupSize, count) {
+		base, snicIPC, err := colocation(cfg, group, l2Size)
+		if err != nil {
+			return Fig5Row{}, err
+		}
+		degs = append(degs, degradation(base[0], snicIPC[0]))
+	}
+	s := sim.Summarize(degs)
+	return Fig5Row{
+		NF: target, X: sizeLabel(l2Size),
+		Median: s.Median, P1: s.P1, P99: s.P99,
+	}, nil
 }
 
 // RenderFig5 formats rows as a table.
@@ -259,7 +285,12 @@ func MedianAcrossNFs(rows []Fig5Row, x string) (mean float64, p99 float64) {
 // grounds as the 99th-percentile IPC degradation with 4 co-located NFs
 // and a 4 MB L2. It returns (median, p99) in percent.
 func ThroughputHeadline(cfg Fig5Config) (float64, float64, error) {
-	rows, err := Figure5b(cfg, []int{4})
+	return defaultRunner.ThroughputHeadline(cfg)
+}
+
+// ThroughputHeadline computes the §1 claim on r's worker pool.
+func (r *Runner) ThroughputHeadline(cfg Fig5Config) (float64, float64, error) {
+	rows, err := r.Figure5b(cfg, []int{4})
 	if err != nil {
 		return 0, 0, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"snic/internal/accel"
 	"snic/internal/attest"
+	"snic/internal/engine"
 	"snic/internal/nf"
 	"snic/internal/pkt"
 	"snic/internal/sim"
@@ -27,51 +28,71 @@ type Fig6Row struct {
 // Figure6 launches each NF (sized by its published memory profile) on an
 // S-NIC and reports the simulated nf_launch / nf_attest / nf_destroy
 // latency breakdowns.
-func Figure6() ([]Fig6Row, error) {
+func Figure6() ([]Fig6Row, error) { return defaultRunner.Figure6() }
+
+// Figure6 decomposes the instruction-latency sweep into one engine job
+// per NF. Each job builds its own vendor and device; the serial
+// implementation shared one device across all six launches, which would
+// race on the device's NF table if jobs ran concurrently.
+func (r *Runner) Figure6() ([]Fig6Row, error) {
+	jobs := make([]engine.Job[Fig6Row], len(nf.Names))
+	for i, name := range nf.Names {
+		jobs[i] = engine.Job[Fig6Row]{
+			Experiment: "fig6",
+			Key:        name,
+			Run: func(*sim.Rand) (Fig6Row, error) {
+				return launchProfile(i, name)
+			},
+		}
+	}
+	return runJobs(r, 0xF16C, jobs)
+}
+
+// launchProfile measures one NF's launch/attest/destroy breakdown on a
+// freshly built device (core placement matches the shared-device layout:
+// NF i on core i mod 12). Every reported latency is model-derived, so
+// rows are identical no matter which worker runs the job.
+func launchProfile(i int, name string) (Fig6Row, error) {
 	vendor, err := attest.NewVendor("SNIC Vendor", nil)
 	if err != nil {
-		return nil, err
+		return Fig6Row{}, err
 	}
 	dev, err := snic.New(snic.Config{Cores: 12, MemBytes: 2 << 30, FrameSize: 2 << 20}, vendor)
 	if err != nil {
-		return nil, err
+		return Fig6Row{}, err
 	}
-	var rows []Fig6Row
-	for i, name := range nf.Names {
-		prof, err := nf.PaperProfile(name)
-		if err != nil {
-			return nil, err
-		}
-		memBytes := alignUp(prof.Total(), 2<<20)
-		rep, err := dev.Launch(snic.LaunchSpec{
-			CoreMask: 1 << uint(i%12),
-			Image:    []byte(name + " image"),
-			MemBytes: memBytes,
-			DMACore:  -1,
-		})
-		if err != nil {
-			return nil, err
-		}
-		_, _, attestMS, err := dev.AttestNF(rep.ID, []byte("bench-nonce"))
-		if err != nil {
-			return nil, err
-		}
-		tr, err := dev.Teardown(rep.ID)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Fig6Row{
-			NF:           name,
-			MemMB:        float64(memBytes) / (1 << 20),
-			LaunchTLBMS:  rep.TLBSetupMS,
-			LaunchDenyMS: rep.DenylistMS,
-			LaunchSHAMS:  rep.DigestMS,
-			AttestMS:     attestMS,
-			DestroyAllow: tr.AllowlistMS,
-			DestroyScrub: tr.ScrubMS,
-		})
+	prof, err := nf.PaperProfile(name)
+	if err != nil {
+		return Fig6Row{}, err
 	}
-	return rows, nil
+	memBytes := alignUp(prof.Total(), 2<<20)
+	rep, err := dev.Launch(snic.LaunchSpec{
+		CoreMask: 1 << uint(i%12),
+		Image:    []byte(name + " image"),
+		MemBytes: memBytes,
+		DMACore:  -1,
+	})
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	_, _, attestMS, err := dev.AttestNF(rep.ID, []byte("bench-nonce"))
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	tr, err := dev.Teardown(rep.ID)
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	return Fig6Row{
+		NF:           name,
+		MemMB:        float64(memBytes) / (1 << 20),
+		LaunchTLBMS:  rep.TLBSetupMS,
+		LaunchDenyMS: rep.DenylistMS,
+		LaunchSHAMS:  rep.DigestMS,
+		AttestMS:     attestMS,
+		DestroyAllow: tr.AllowlistMS,
+		DestroyScrub: tr.ScrubMS,
+	}, nil
 }
 
 func alignUp(n, a uint64) uint64 { return (n + a - 1) / a * a }
@@ -104,14 +125,35 @@ type Fig7Point struct {
 // hash-resize spikes. flowRate 0 selects the CAIDA default (~7417/s);
 // tests pass smaller rates.
 func Figure7(seconds float64, flowRate float64, samples int) ([]Fig7Point, error) {
+	return defaultRunner.Figure7(seconds, flowRate, samples)
+}
+
+// Figure7 runs as a single engine job: the time series is inherently
+// sequential (one Monitor accumulating state across the whole window),
+// so the engine contributes only seeding and metrics here.
+func (r *Runner) Figure7(seconds float64, flowRate float64, samples int) ([]Fig7Point, error) {
+	job := engine.Job[[]Fig7Point]{
+		Experiment: "fig7",
+		Key:        "series",
+		Run: func(rng *sim.Rand) ([]Fig7Point, error) {
+			return monitorSeries(rng, seconds, flowRate, samples), nil
+		},
+	}
+	out, err := runJobs(r, 0xF17, []engine.Job[[]Fig7Point]{job})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+func monitorSeries(rng *sim.Rand, seconds, flowRate float64, samples int) []Fig7Point {
 	if samples <= 1 {
 		samples = 150
 	}
 	var series []Fig7Point
-	var mon *nf.Monitor
 	elapsed := 0.0
-	mon = nf.NewMonitor(nil)
-	c := trace.NewCAIDA(sim.NewRand(0xF17), flowRate)
+	mon := nf.NewMonitor(nil)
+	c := trace.NewCAIDA(rng, flowRate)
 	dt := seconds / float64(samples)
 	// Also capture intra-step maxima so resize spikes are visible even if
 	// they fall between samples.
@@ -133,7 +175,7 @@ func Figure7(seconds float64, flowRate float64, samples int) ([]Fig7Point, error
 			LiveMB: float64(stepPeak) / (1 << 20),
 		})
 	}
-	return series, nil
+	return series
 }
 
 // RenderFig7 formats the time series (downsampled to at most 30 rows).
@@ -159,18 +201,35 @@ type Fig8Row struct {
 // Figure8 sweeps DPI accelerator throughput over cluster size and frame
 // size using the calibrated dispatcher/thread model.
 func Figure8(requests int) []Fig8Row {
+	rows, err := defaultRunner.Figure8(requests)
+	if err != nil {
+		// The model is pure; only a panicking job can produce an error.
+		panic(err)
+	}
+	return rows
+}
+
+// Figure8 decomposes the sweep into one engine job per (threads, frame)
+// point.
+func (r *Runner) Figure8(requests int) ([]Fig8Row, error) {
 	if requests <= 0 {
 		requests = 4000
 	}
 	p := accel.DefaultDPIPerf()
-	var rows []Fig8Row
+	var jobs []engine.Job[Fig8Row]
 	for _, threads := range []int{16, 32, 48} {
 		for _, frame := range []int{64, 512, 1536, 9216} {
-			pps := accel.SimulateThroughput(p, threads, frame, requests)
-			rows = append(rows, Fig8Row{Threads: threads, FrameBytes: frame, Mpps: accel.Mpps(pps)})
+			jobs = append(jobs, engine.Job[Fig8Row]{
+				Experiment: "fig8",
+				Key:        fmt.Sprintf("%dthr/%dB", threads, frame),
+				Run: func(*sim.Rand) (Fig8Row, error) {
+					pps := accel.SimulateThroughput(p, threads, frame, requests)
+					return Fig8Row{Threads: threads, FrameBytes: frame, Mpps: accel.Mpps(pps)}, nil
+				},
+			})
 		}
 	}
-	return rows
+	return runJobs(r, 0xF18, jobs)
 }
 
 // RenderFig8 formats the throughput sweep.

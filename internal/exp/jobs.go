@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"snic/internal/engine"
+)
+
+// Runner executes experiment sweeps on the concurrent engine. The zero
+// value runs with GOMAXPROCS workers; cmd/snicbench builds one from its
+// -workers/-v flags. Every sweep decomposes into engine jobs keyed by a
+// stable (experiment, jobKey) pair, and each job draws randomness only
+// from the sim.Rand derived from that pair — so output is bit-identical
+// for any worker count, including 1.
+type Runner struct {
+	// Workers bounds the worker pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Observe, if set, receives the engine metrics of each completed
+	// sweep (snicbench -v prints them).
+	Observe func(engine.Metrics)
+	// OnJob, if set, receives per-job completion events as they happen.
+	OnJob func(engine.JobStat)
+}
+
+// defaultRunner backs the package-level experiment functions, which keep
+// their historical signatures for tests, benchmarks, and examples.
+var defaultRunner = &Runner{}
+
+func (r *Runner) config(seed uint64) engine.Config {
+	cfg := engine.Config{Seed: seed}
+	if r != nil {
+		cfg.Workers = r.Workers
+		cfg.OnJob = r.OnJob
+	}
+	return cfg
+}
+
+// runJobs executes one sweep for r, forwarding metrics to Observe.
+// (A free function because Go methods cannot introduce type parameters.)
+func runJobs[T any](r *Runner, seed uint64, jobs []engine.Job[T]) ([]T, error) {
+	out, m, err := engine.Run(r.config(seed), jobs)
+	if r != nil && r.Observe != nil {
+		r.Observe(m)
+	}
+	return out, err
+}

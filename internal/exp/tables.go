@@ -3,15 +3,15 @@ package exp
 import (
 	"fmt"
 
+	"snic/internal/engine"
 	"snic/internal/hwmodel"
 	"snic/internal/mem"
 	"snic/internal/nf"
 	"snic/internal/pagealloc"
 	"snic/internal/pkt"
+	"snic/internal/sim"
 	"snic/internal/tco"
 	"snic/internal/trace"
-
-	"snic/internal/sim"
 )
 
 // Table2 regenerates the programmable-core TLB cost table.
@@ -92,7 +92,10 @@ func Table4() Table {
 // Table5 regenerates the page-size-setting table at 48 cores, computing
 // the per-setting entry requirement as the maximum over the six NFs'
 // published profiles (which is how the paper derives 183/51/13).
-func Table5() (Table, error) {
+func Table5() (Table, error) { return defaultRunner.Table5() }
+
+// Table5 decomposes the sweep into one engine job per page-size setting.
+func (r *Runner) Table5() (Table, error) {
 	t := Table{
 		Title:  "Table 5: TLB cost vs page-size setting (48 cores)",
 		Header: []string{"setting", "max entries (any NF)", "area mm²", "power W"},
@@ -108,26 +111,38 @@ func Table5() (Table, error) {
 		// huge pages are non-negotiable for locked-TLB designs.
 		{"Ablation: 4KB only", pagealloc.PageSet{4 << 10}},
 	}
-	for _, s := range settings {
-		maxEntries := 0
-		for _, name := range nf.Names {
-			p, err := nf.PaperProfile(name)
-			if err != nil {
-				return Table{}, err
-			}
-			e, err := pagealloc.EntriesFor([]uint64{p.Text, p.Data, p.Code, p.Heap}, s.ps)
-			if err != nil {
-				return Table{}, err
-			}
-			if e > maxEntries {
-				maxEntries = e
-			}
+	jobs := make([]engine.Job[[]string], len(settings))
+	for i, s := range settings {
+		jobs[i] = engine.Job[[]string]{
+			Experiment: "table5",
+			Key:        s.name,
+			Run: func(*sim.Rand) ([]string, error) {
+				maxEntries := 0
+				for _, name := range nf.Names {
+					p, err := nf.PaperProfile(name)
+					if err != nil {
+						return nil, err
+					}
+					e, err := pagealloc.EntriesFor([]uint64{p.Text, p.Data, p.Code, p.Heap}, s.ps)
+					if err != nil {
+						return nil, err
+					}
+					if e > maxEntries {
+						maxEntries = e
+					}
+				}
+				m := hwmodel.CoreTLBCost(48, maxEntries)
+				return []string{
+					s.name, fmt.Sprintf("%d x 48", maxEntries), f3(m.AreaMM2), f3(m.PowerW),
+				}, nil
+			},
 		}
-		m := hwmodel.CoreTLBCost(48, maxEntries)
-		t.Rows = append(t.Rows, []string{
-			s.name, fmt.Sprintf("%d x 48", maxEntries), f3(m.AreaMM2), f3(m.PowerW),
-		})
 	}
+	rows, err := runJobs(r, 0x7AB5, jobs)
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"the paper's Table 5 caption swaps the Flex labels; we follow the §5.2 prose")
 	return t, nil
@@ -147,63 +162,84 @@ type NFProfile struct {
 // with a deterministic workload, and measures every profile. The workload
 // (flow count, packets) scales with cfg so tests stay fast.
 func ProfileNFs(cfg nf.SuiteConfig, flows, packets int) ([]NFProfile, error) {
-	rng := sim.NewRand(cfg.Seed + 17)
-	pool := trace.NewICTF(rng, flows)
-	suite, err := nf.Suite(cfg)
-	if err != nil {
-		return nil, err
+	return defaultRunner.ProfileNFs(cfg, flows, packets)
+}
+
+// ProfileNFs decomposes the Table 6/8 profiling sweep into one engine
+// job per NF. Each job builds its own NF instance and its own packet
+// pool from the job-derived RNG; the serial implementation used to
+// thread one pool through all six NFs in table order, which made every
+// profile depend on its predecessors' draws and the pool unshareable
+// across workers.
+func (r *Runner) ProfileNFs(cfg nf.SuiteConfig, flows, packets int) ([]NFProfile, error) {
+	jobs := make([]engine.Job[NFProfile], len(nf.Names))
+	for i, name := range nf.Names {
+		jobs[i] = engine.Job[NFProfile]{
+			Experiment: "profile",
+			Key:        name,
+			Run: func(rng *sim.Rand) (NFProfile, error) {
+				return profileNF(name, cfg, flows, packets, rng)
+			},
+		}
 	}
-	var out []NFProfile
-	for _, name := range nf.Names {
-		f := suite[name]
-		// Drive stateful NFs so caches/tables/counters populate.
-		for i := 0; i < packets; i++ {
-			_, p := pool.NextPacket(trace.IMIXLen(rng))
+	return runJobs(r, cfg.Seed+17, jobs)
+}
+
+// profileNF drives one freshly built NF with a deterministic workload
+// and measures its profile. All mutable state (the NF, the pool, the
+// CAIDA stream) is local to this call, so jobs never share instances.
+func profileNF(name string, cfg nf.SuiteConfig, flows, packets int, rng *sim.Rand) (NFProfile, error) {
+	pool := trace.NewICTF(rng.Fork(), flows)
+	f, err := nf.New(name, cfg)
+	if err != nil {
+		return NFProfile{}, err
+	}
+	// Drive stateful NFs so caches/tables/counters populate.
+	for i := 0; i < packets; i++ {
+		_, p := pool.NextPacket(trace.IMIXLen(rng))
+		f.Process(&p)
+	}
+	if name == "Mon" {
+		// The Monitor additionally observes a CAIDA-like window whose
+		// distinct-flow count dwarfs the pool.
+		c := trace.NewCAIDA(rng.Fork(), float64(flows))
+		for _, ft := range c.Advance(10, 1) {
+			p := pkt.Packet{Tuple: ft}
 			f.Process(&p)
 		}
-		if name == "Mon" {
-			// The Monitor additionally observes a CAIDA-like window whose
-			// distinct-flow count dwarfs the pool.
-			c := trace.NewCAIDA(rng.Fork(), float64(flows))
-			for _, ft := range c.Advance(10, 1) {
-				p := pkt.Packet{Tuple: ft}
-				f.Process(&p)
-			}
-		}
-		prof := f.Arena().Profile()
-		segs := []uint64{prof.Text, prof.Data, prof.Code, prof.Heap}
-		eq, err := pagealloc.EntriesFor(segs, pagealloc.Equal)
-		if err != nil {
-			return nil, err
-		}
-		fl, err := pagealloc.EntriesFor(segs, pagealloc.FlexLow)
-		if err != nil {
-			return nil, err
-		}
-		fh, err := pagealloc.EntriesFor(segs, pagealloc.FlexHigh)
-		if err != nil {
-			return nil, err
-		}
-		pp, err := nf.PaperProfile(name)
-		if err != nil {
-			return nil, err
-		}
-		peq, err := pagealloc.EntriesFor([]uint64{pp.Text, pp.Data, pp.Code, pp.Heap}, pagealloc.Equal)
-		if err != nil {
-			return nil, err
-		}
-		used := f.Arena().Live()
-		mur := 1.0
-		if prof.Total() > 0 {
-			mur = float64(used) / float64(prof.Total())
-		}
-		out = append(out, NFProfile{
-			Name: name, Measured: prof, UsedBytes: used,
-			Equal: eq, FlexLow: fl, FlexHigh: fh, PaperEqual: peq,
-			MUR: mur,
-		})
 	}
-	return out, nil
+	prof := f.Arena().Profile()
+	segs := []uint64{prof.Text, prof.Data, prof.Code, prof.Heap}
+	eq, err := pagealloc.EntriesFor(segs, pagealloc.Equal)
+	if err != nil {
+		return NFProfile{}, err
+	}
+	fl, err := pagealloc.EntriesFor(segs, pagealloc.FlexLow)
+	if err != nil {
+		return NFProfile{}, err
+	}
+	fh, err := pagealloc.EntriesFor(segs, pagealloc.FlexHigh)
+	if err != nil {
+		return NFProfile{}, err
+	}
+	pp, err := nf.PaperProfile(name)
+	if err != nil {
+		return NFProfile{}, err
+	}
+	peq, err := pagealloc.EntriesFor([]uint64{pp.Text, pp.Data, pp.Code, pp.Heap}, pagealloc.Equal)
+	if err != nil {
+		return NFProfile{}, err
+	}
+	used := f.Arena().Live()
+	mur := 1.0
+	if prof.Total() > 0 {
+		mur = float64(used) / float64(prof.Total())
+	}
+	return NFProfile{
+		Name: name, Measured: prof, UsedBytes: used,
+		Equal: eq, FlexLow: fl, FlexHigh: fh, PaperEqual: peq,
+		MUR: mur,
+	}, nil
 }
 
 // Table6 renders the measured memory profiles next to the paper's.
@@ -227,7 +263,10 @@ func Table6(profiles []NFProfile) Table {
 // Table7 reports the accelerator buffer inventories and the TLB entries
 // they need — using the paper's published buffer sizes plus our measured
 // DPI graph when one is supplied (0 uses the paper's 97.28 MB).
-func Table7(dpiGraphBytes uint64) (Table, error) {
+func Table7(dpiGraphBytes uint64) (Table, error) { return defaultRunner.Table7(dpiGraphBytes) }
+
+// Table7 decomposes the inventory into one engine job per accelerator.
+func (r *Runner) Table7(dpiGraphBytes uint64) (Table, error) {
 	if dpiGraphBytes == 0 {
 		mib := float64(uint64(1) << 20)
 		dpiGraphBytes = uint64(97.28 * mib)
@@ -243,22 +282,33 @@ func Table7(dpiGraphBytes uint64) (Table, error) {
 		{"ZIP", []uint64{kb(64), kb(128), mbF(2), kb(24), mbF(2), mbF(128), kb(32)}},
 		{"RAID", []uint64{mbF(4), kb(128), mbF(2), mbF(2)}},
 	}
-	t := Table{
+	jobs := make([]engine.Job[[]string], len(accs))
+	for i, a := range accs {
+		jobs[i] = engine.Job[[]string]{
+			Experiment: "table7",
+			Key:        a.name,
+			Run: func(*sim.Rand) ([]string, error) {
+				var total uint64
+				for _, s := range a.segs {
+					total += s
+				}
+				e, err := pagealloc.EntriesFor(a.segs, pagealloc.Equal)
+				if err != nil {
+					return nil, err
+				}
+				return []string{a.name, mb(total), fmt.Sprint(e)}, nil
+			},
+		}
+	}
+	rows, err := runJobs(r, 0x7AB7, jobs)
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
 		Title:  "Table 7: accelerator memory profiles and TLB entries (2MB pages)",
 		Header: []string{"accel", "total MB", "TLB entries"},
-	}
-	for _, a := range accs {
-		var total uint64
-		for _, s := range a.segs {
-			total += s
-		}
-		e, err := pagealloc.EntriesFor(a.segs, pagealloc.Equal)
-		if err != nil {
-			return Table{}, err
-		}
-		t.Rows = append(t.Rows, []string{a.name, mb(total), fmt.Sprint(e)})
-	}
-	return t, nil
+		Rows:   rows,
+	}, nil
 }
 
 // Table8 renders memory-utilization ratios, measured and published.

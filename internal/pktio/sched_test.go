@@ -124,4 +124,110 @@ func TestAlgoString(t *testing.T) {
 	if SchedFIFO.String() != "fifo" || SchedPriority.String() != "priority" || SchedWRR.String() != "wrr" {
 		t.Fatal("algo names")
 	}
+	if SchedAlgo(99).String() != "algo(99)" {
+		t.Fatal("unknown algo name")
+	}
+}
+
+// TestSchedEdgeCases table-drives the scheduler corners: empty queues
+// (all tenants idle), a single tenant, zero-length queues among
+// populated ones, and drain-then-idle transitions.
+func TestSchedEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		algo    SchedAlgo
+		nqueues int
+		weights []int
+		enqueue map[int][]Descriptor // queue -> descriptors, enqueued in queue order
+		want    []int                // expected queue of each successive Dequeue
+	}{
+		{
+			name: "fifo all-idle", algo: SchedFIFO, nqueues: 1,
+			enqueue: nil, want: nil,
+		},
+		{
+			name: "priority all-idle", algo: SchedPriority, nqueues: 3,
+			enqueue: nil, want: nil,
+		},
+		{
+			name: "wrr all-idle", algo: SchedWRR, nqueues: 4, weights: []int{1, 2, 3, 4},
+			enqueue: nil, want: nil,
+		},
+		{
+			name: "single tenant fifo", algo: SchedFIFO, nqueues: 1,
+			enqueue: map[int][]Descriptor{0: {desc(0), desc(1)}},
+			want:    []int{0, 0},
+		},
+		{
+			name: "single tenant wrr", algo: SchedWRR, nqueues: 1, weights: []int{3},
+			enqueue: map[int][]Descriptor{0: {desc(0), desc(1), desc(2), desc(3)}},
+			want:    []int{0, 0, 0, 0},
+		},
+		{
+			name: "priority only low queue busy", algo: SchedPriority, nqueues: 3,
+			enqueue: map[int][]Descriptor{2: {desc(0), desc(1)}},
+			want:    []int{2, 2},
+		},
+		{
+			name: "wrr zero-length queue between busy ones", algo: SchedWRR,
+			nqueues: 3, weights: []int{2, 5, 1},
+			enqueue: map[int][]Descriptor{0: {desc(0), desc(1)}, 2: {desc(2)}},
+			// Queue 1 is empty: its credits must be skipped without
+			// stalling, giving 0,0 (two credits) then 2.
+			want: []int{0, 0, 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewTxScheduler(tc.algo, tc.nqueues, tc.weights)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Pending(); got != 0 {
+				t.Fatalf("fresh scheduler pending = %d", got)
+			}
+			total := 0
+			for q := 0; q < tc.nqueues; q++ {
+				for _, d := range tc.enqueue[q] {
+					if err := s.Enqueue(q, d); err != nil {
+						t.Fatal(err)
+					}
+					total++
+				}
+			}
+			if got := s.Pending(); got != total {
+				t.Fatalf("pending = %d, want %d", got, total)
+			}
+			for i, wantQ := range tc.want {
+				it, ok := s.Dequeue()
+				if !ok {
+					t.Fatalf("dequeue %d ran dry", i)
+				}
+				if it.Queue != wantQ {
+					t.Fatalf("dequeue %d from queue %d, want %d", i, it.Queue, wantQ)
+				}
+			}
+			// Drained (or never filled): every discipline must report
+			// idle rather than stall or fabricate items.
+			if it, ok := s.Dequeue(); ok {
+				t.Fatalf("idle dequeue produced %+v", it)
+			}
+			if got := s.Pending(); got != 0 {
+				t.Fatalf("drained scheduler pending = %d", got)
+			}
+		})
+	}
+}
+
+// TestSchedUnknownAlgoDequeue covers the defensive default branch.
+func TestSchedUnknownAlgoDequeue(t *testing.T) {
+	s, err := NewTxScheduler(SchedPriority, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Enqueue(0, desc(1))
+	s.algo = SchedAlgo(99)
+	if _, ok := s.Dequeue(); ok {
+		t.Fatal("unknown algo dequeued")
+	}
 }

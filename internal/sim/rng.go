@@ -95,3 +95,40 @@ func (r *Rand) Fork() *Rand {
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	return NewRand(z ^ (z >> 31))
 }
+
+// DeriveSeed hashes a base seed plus a list of labels — conventionally
+// (experiment, jobKey) — into a stable 64-bit seed. Unlike Fork, the
+// derivation depends only on its inputs, never on how many draws some
+// other component made first, so a job scheduled on any worker at any
+// time gets exactly the stream a serial run would have given it. The
+// labels are FNV-1a-folded with a separator (so ("ab","c") and ("a","bc")
+// differ) and finished with the SplitMix64 avalanche so adjacent keys
+// ("FW", "FW2") land in decorrelated streams.
+func DeriveSeed(base uint64, labels ...string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(base >> (8 * i)))
+		h *= prime64
+	}
+	for _, l := range labels {
+		for i := 0; i < len(l); i++ {
+			h ^= uint64(l[i])
+			h *= prime64
+		}
+		h ^= 0xFF // label separator
+		h *= prime64
+	}
+	h += 0x9E3779B97F4A7C15
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	return h ^ (h >> 31)
+}
+
+// DeriveRand returns a generator seeded with DeriveSeed(base, labels...).
+func DeriveRand(base uint64, labels ...string) *Rand {
+	return NewRand(DeriveSeed(base, labels...))
+}

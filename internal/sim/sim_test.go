@@ -234,3 +234,48 @@ func TestSummarizeDoesNotMutateInput(t *testing.T) {
 		t.Fatal("Summarize mutated its input")
 	}
 }
+
+func TestDeriveSeedLabelBoundaries(t *testing.T) {
+	// ("ab","c") and ("a","bc") concatenate identically; the separator
+	// must still distinguish them.
+	if DeriveSeed(1, "ab", "c") == DeriveSeed(1, "a", "bc") {
+		t.Fatal("label boundary lost")
+	}
+	if DeriveSeed(1, "x") == DeriveSeed(1, "x", "") {
+		t.Fatal("trailing empty label lost")
+	}
+	if DeriveSeed(1) == DeriveSeed(2) {
+		t.Fatal("base seed ignored")
+	}
+	if DeriveSeed(1, "x") != DeriveSeed(1, "x") {
+		t.Fatal("derivation not stable")
+	}
+}
+
+func TestDeriveRandStreamsDecorrelated(t *testing.T) {
+	// Streams for adjacent job keys must not collide or track each other.
+	a := DeriveRand(7, "exp", "job0")
+	b := DeriveRand(7, "exp", "job1")
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("%d collisions between sibling streams", same)
+	}
+}
+
+func TestDeriveRandIndependentOfCallOrder(t *testing.T) {
+	// Unlike Fork, derivation must not depend on other draws: consuming
+	// one stream first cannot move a sibling's stream.
+	first := DeriveRand(7, "exp", "a").Uint64()
+	burn := DeriveRand(7, "exp", "b")
+	for i := 0; i < 100; i++ {
+		burn.Uint64()
+	}
+	if got := DeriveRand(7, "exp", "a").Uint64(); got != first {
+		t.Fatalf("stream moved: %x != %x", got, first)
+	}
+}
