@@ -23,6 +23,10 @@ test:
 race:
 	$(GO) test -race ./...
 
+.PHONY: fmt
+fmt:
+	gofmt -w .
+
 # Regenerate the committed golden renderings after an intentional change
 # to a model constant, a workload, or a table format.
 .PHONY: golden

@@ -1,142 +1,68 @@
-// Command snicattack runs the paper's §3.3 attack suite against the
-// commodity-NIC models (where the attacks succeed) and against the S-NIC
-// device (where the hardware blocks them), printing one verdict per run.
+// Command snicattack runs the polymorphic attack suite (§3.2/§3.3)
+// against any registered device model — the commodity baselines where
+// the attacks succeed, or the S-NIC where the hardware blocks them.
+//
+//	snicattack -device liquidio-ses   # one model, one verdict per attack
+//	snicattack -device all            # every model plus the outcome matrix
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
-
-	"snic/internal/bus"
+	"strings"
 
 	"snic/internal/attacks"
-	"snic/internal/attest"
-	"snic/internal/baseline"
-	"snic/internal/cache"
-	"snic/internal/sim"
-	"snic/internal/snic"
-	"snic/internal/trace"
+	"snic/internal/device"
+	"snic/internal/exp"
 )
 
 func main() {
-	if err := run(); err != nil {
+	model := flag.String("device", "all",
+		"device model to attack ("+strings.Join(device.Models(), ", ")+") or \"all\"")
+	flag.Parse()
+	if err := run(*model); err != nil {
 		fmt.Fprintln(os.Stderr, "snicattack:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fmt.Println("S-NIC attack reproduction suite (paper §3.3)")
-	fmt.Println("--------------------------------------------")
+func run(model string) error {
+	fmt.Println("S-NIC attack reproduction suite (paper §3.2/§3.3)")
+	fmt.Println("-------------------------------------------------")
 
-	// Commodity targets.
-	liq, err := baseline.NewLiquidIO(32<<20, baseline.SES, true)
+	if model != "all" {
+		return attackOne(model)
+	}
+	for _, m := range device.Models() {
+		if err := attackOne(m); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	// The cross-model summary, rendered like the paper's tables.
+	cols, err := exp.AttackMatrix()
 	if err != nil {
 		return err
 	}
-	res, err := attacks.PacketCorruptionLiquidIO(liq)
-	if err != nil {
-		return err
-	}
-	fmt.Println(res)
+	fmt.Println(exp.RenderAttackMatrix(cols))
+	return nil
+}
 
-	rng := sim.NewRand(7)
-	var ruleset []byte
-	for _, p := range trace.DPIPatterns(rng, 500) {
-		ruleset = append(ruleset, p...)
-		ruleset = append(ruleset, '\n')
-	}
-	res, err = attacks.RulesetTheftLiquidIO(liq, ruleset)
+// attackOne builds one device through the factory and runs the whole
+// suite against it.
+func attackOne(model string) error {
+	dev, err := device.New(device.Spec{Model: model, Cores: 4, MemBytes: 16 << 20})
 	if err != nil {
 		return err
 	}
-	fmt.Println(res)
-
-	agilio, err := baseline.NewAgilio(32<<20, 2)
+	fmt.Printf("%s (caps: %s)\n", dev.Model(), dev.Caps())
+	results, err := attacks.RunAll(dev)
 	if err != nil {
 		return err
 	}
-	res, err = attacks.BusDoSAgilio(agilio, 300000)
-	if err != nil {
-		return err
+	for _, res := range results {
+		fmt.Println(res)
 	}
-	fmt.Println(res)
-
-	bf, err := baseline.NewBlueField(32<<20, 8<<20)
-	if err != nil {
-		return err
-	}
-	res, err = attacks.SecureWorldSnoopBlueField(bf, []byte("tenant tls session keys"))
-	if err != nil {
-		return err
-	}
-	fmt.Println(res)
-
-	accShared, err := attacks.PrimeProbe(cache.Shared, 512, 99)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-22s vs %-9s SUCCEEDED  (bit-recovery accuracy %.0f%%)\n",
-		"cache-prime+probe", "shared-L2", accShared*100)
-
-	wm := attacks.Watermark(func(int) bus.Arbiter { return bus.NewFIFO() }, 128, 11)
-	fmt.Printf("%-22s vs %-9s SUCCEEDED  (flow watermark decoded at %.0f%%)\n",
-		"flow-watermarking", "FIFO bus", wm*100)
-
-	cc := attacks.ControlledChannel(false, []byte("secret page walk"))
-	fmt.Printf("%-22s vs %-9s SUCCEEDED  (page-fault stream recovers %.0f%% of secret)\n",
-		"controlled-channel", "SE-UM OS", cc*100)
-
-	acc := attacks.CryptoContentionAgilio(agilio, 300, 3)
-	fmt.Printf("%-22s vs %-9s SUCCEEDED  (co-tenant activity inference %.0f%%)\n",
-		"crypto-contention", "Agilio", acc*100)
-
-	// S-NIC: identical attempts, hardware defenses on.
-	fmt.Println()
-	vend, err := attest.NewVendor("SNIC Vendor", nil)
-	if err != nil {
-		return err
-	}
-	dev, err := snic.New(snic.Config{Cores: 4, MemBytes: 64 << 20}, vend)
-	if err != nil {
-		return err
-	}
-	launch := func(mask uint64) (snic.ID, error) {
-		rep, err := dev.Launch(snic.LaunchSpec{
-			CoreMask: mask, Image: []byte("tenant nf"), MemBytes: 2 << 20, DMACore: -1,
-		})
-		return rep.ID, err
-	}
-	victim, err := launch(0b01)
-	if err != nil {
-		return err
-	}
-	attacker, err := launch(0b10)
-	if err != nil {
-		return err
-	}
-	res, err = attacks.TheftSNIC(dev, victim, attacker, ruleset[:64])
-	if err != nil {
-		return err
-	}
-	fmt.Println(res)
-	res, err = attacks.CorruptionSNIC(dev, victim, attacker)
-	if err != nil {
-		return err
-	}
-	fmt.Println(res)
-
-	accStatic, err := attacks.PrimeProbe(cache.Static, 512, 99)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-22s vs %-9s BLOCKED    (accuracy %.0f%% = coin flipping)\n",
-		"cache-prime+probe", "S-NIC", accStatic*100)
-	wms := attacks.Watermark(func(n int) bus.Arbiter { return bus.NewTemporal(n, 60, 10) }, 128, 11)
-	fmt.Printf("%-22s vs %-9s BLOCKED    (watermark accuracy %.0f%% = chance)\n",
-		"flow-watermarking", "S-NIC", wms*100)
-	ccs := attacks.ControlledChannel(true, []byte("secret page walk"))
-	fmt.Printf("%-22s vs %-9s BLOCKED    (locked TLBs produce no fault stream; %.0f%% recovered)\n",
-		"controlled-channel", "S-NIC", ccs*100)
 	return nil
 }

@@ -6,9 +6,9 @@
 //	snicbench -experiment fig5a -scale small
 //	snicbench -experiment fig5b -workers 8 -v
 //
-// Experiments: table2 table3 table4 table5 table6 table7 table8 tco
-// headline fig5a fig5b fig6 fig7 fig8 all. (Attack demos live in
-// cmd/snicattack.)
+// Run with -list for the experiment names (per-device attack demos live
+// in cmd/snicattack; the cross-device outcome matrix is the "attacks"
+// experiment here).
 //
 // Sweeps run on the internal/engine worker pool. Output is bit-identical
 // for every -workers value (each configuration point draws from an RNG
@@ -29,13 +29,41 @@ import (
 	"snic/internal/nf"
 )
 
+// experiments lists every runnable experiment in output order.
+var experiments = []string{
+	"table2", "table3", "table4", "table5", "table6", "table7", "table8",
+	"tco", "headline", "fig5a", "fig5b", "fig6", "fig7", "fig8", "attacks",
+}
+
+func known(name string) bool {
+	for _, e := range experiments {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run")
+	experiment := flag.String("experiment", "all", "which experiment to run (see -list)")
 	scale := flag.String("scale", "medium", "fidelity: small | medium | full")
 	format := flag.String("format", "text", "output format: text | csv | json")
 	workers := flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "report engine metrics per sweep on stderr")
+	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Println(e)
+		}
+		return
+	}
+	if *experiment != "all" && !known(*experiment) {
+		fmt.Fprintf(os.Stderr, "snicbench: unknown experiment %q (valid: %s, all)\n",
+			*experiment, strings.Join(experiments, ", "))
+		os.Exit(2)
+	}
 
 	outFmt, err := exp.ParseFormat(*format)
 	if err != nil {
@@ -160,15 +188,13 @@ func main() {
 		}
 		return emit(exp.RenderFig8(rows))
 	})
-	if *experiment != "all" && !ranAny(*experiment) {
-		fmt.Fprintf(os.Stderr, "snicbench: unknown experiment %q\n", *experiment)
-		os.Exit(2)
-	}
-}
-
-func ranAny(name string) bool {
-	known := "table2 table3 table4 table5 table6 table7 table8 tco headline fig5a fig5b fig6 fig7 fig8"
-	return strings.Contains(" "+known+" ", " "+name+" ")
+	run("attacks", func() error {
+		cols, err := runner.AttackMatrix()
+		if err != nil {
+			return err
+		}
+		return emit(exp.RenderAttackMatrix(cols))
+	})
 }
 
 type configs struct {

@@ -1,8 +1,9 @@
 // Command snicsim runs one co-tenancy scenario through the timing
-// simulator and reports per-NF IPC under commodity sharing vs S-NIC
-// isolation. Example:
+// simulator and reports per-NF IPC on any registered device model —
+// each model contributes its cache policy and bus-arbitration
+// discipline. Example:
 //
-//	snicsim -nfs FW,DPI,NAT,LB -l2 4194304 -instr 500000
+//	snicsim -nfs FW,DPI,NAT,LB -l2 4194304 -instr 500000 -device all
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"snic/internal/bus"
 	"snic/internal/cache"
 	"snic/internal/cpu"
+	"snic/internal/device"
 	"snic/internal/mem"
 	"snic/internal/nf"
 	"snic/internal/sim"
@@ -25,80 +27,117 @@ func main() {
 	l2Size := flag.Uint64("l2", 4<<20, "shared L2 size in bytes")
 	instr := flag.Uint64("instr", 400000, "instructions to measure per core")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	models := flag.String("device", "all",
+		"device models to sweep ("+strings.Join(device.Models(), ", ")+"), comma-separated, or \"all\"")
 	flag.Parse()
 
 	names := strings.Split(*nfsFlag, ",")
-	if err := run(names, *l2Size, *instr, *seed); err != nil {
+	list := device.Models()
+	if *models != "all" {
+		list = strings.Split(*models, ",")
+	}
+	if err := run(names, list, *l2Size, *instr, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "snicsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(names []string, l2Size, instr, seed uint64) error {
-	type result struct{ base, snicIPC []float64 }
-	var res result
-	for _, mode := range []string{"baseline", "snic"} {
-		n := len(names)
-		policy := cache.Shared
-		var arb bus.Arbiter = bus.NewFIFO()
-		if mode == "snic" {
-			policy = cache.Static
-			arb = bus.NewTemporal(n, 60, 10)
+// scenario runs the co-located NF mix under one model's cache policy and
+// bus arbiter and returns per-NF IPC.
+func scenario(names []string, dev device.NIC, l2Size, instr, seed uint64) ([]float64, error) {
+	n := len(names)
+	policy := dev.CachePolicy()
+	arb := dev.NewBusArbiter(n)
+	ways := 16
+	if policy == cache.Static && ways < n {
+		ways = n
+	}
+	l2, err := cache.New(cache.Config{
+		Name: "L2", Size: l2Size, LineSize: 64, Ways: ways,
+		Policy: policy, Domains: n,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr := bus.NewTracker(arb, n)
+	rng := sim.NewRand(seed)
+	pool := trace.NewICTF(rng.Fork(), 50000)
+	cfg := nf.SuiteConfig{FirewallRules: 643, DPIPatterns: 4000, Routes: 8000, Seed: seed}
+	cores := make([]*cpu.Core, n)
+	streams := make([]cpu.Stream, n)
+	for i, name := range names {
+		f, err := nf.New(strings.TrimSpace(name), cfg)
+		if err != nil {
+			return nil, err
 		}
-		ways := 16
-		if policy == cache.Static && ways < n {
-			ways = n
-		}
-		l2, err := cache.New(cache.Config{
-			Name: "L2", Size: l2Size, LineSize: 64, Ways: ways,
-			Policy: policy, Domains: n,
+		l1, err := cache.New(cache.Config{
+			Name: "L1", Size: 32 << 10, LineSize: 64, Ways: 4, Domains: 1,
 		})
+		if err != nil {
+			return nil, err
+		}
+		cores[i] = &cpu.Core{Domain: i, L1: l1, L2: l2, Bus: tr, Lat: cpu.DefaultLatencies()}
+		streams[i] = f.NewStream(sim.NewRand(seed+uint64(i)+1), pool, mem.Addr(i+1)<<32)
+	}
+	r := &cpu.Runner{Cores: cores, Streams: streams}
+	r.RunInstr(instr / 4) // warmup
+	for _, c := range cores {
+		c.ResetCounters()
+	}
+	r.RunInstr(instr)
+	ipcs := make([]float64, n)
+	for i, c := range cores {
+		ipcs[i] = c.IPC()
+	}
+	return ipcs, nil
+}
+
+func run(names, models []string, l2Size, instr, seed uint64) error {
+	ipcs := make(map[string][]float64, len(models))
+	for i, m := range models {
+		models[i] = strings.TrimSpace(m)
+		dev, err := device.New(device.Spec{Model: models[i]})
 		if err != nil {
 			return err
 		}
-		tr := bus.NewTracker(arb, n)
-		rng := sim.NewRand(seed)
-		pool := trace.NewICTF(rng.Fork(), 50000)
-		cfg := nf.SuiteConfig{FirewallRules: 643, DPIPatterns: 4000, Routes: 8000, Seed: seed}
-		cores := make([]*cpu.Core, n)
-		streams := make([]cpu.Stream, n)
-		for i, name := range names {
-			f, err := nf.New(strings.TrimSpace(name), cfg)
-			if err != nil {
-				return err
-			}
-			l1, err := cache.New(cache.Config{
-				Name: "L1", Size: 32 << 10, LineSize: 64, Ways: 4, Domains: 1,
-			})
-			if err != nil {
-				return err
-			}
-			cores[i] = &cpu.Core{Domain: i, L1: l1, L2: l2, Bus: tr, Lat: cpu.DefaultLatencies()}
-			streams[i] = f.NewStream(sim.NewRand(seed+uint64(i)+1), pool, mem.Addr(i+1)<<32)
+		out, err := scenario(names, dev, l2Size, instr, seed)
+		if err != nil {
+			return err
 		}
-		r := &cpu.Runner{Cores: cores, Streams: streams}
-		r.RunInstr(instr / 4) // warmup
-		for _, c := range cores {
-			c.ResetCounters()
-		}
-		r.RunInstr(instr)
-		ipcs := make([]float64, n)
-		for i, c := range cores {
-			ipcs[i] = c.IPC()
-		}
-		if mode == "baseline" {
-			res.base = ipcs
-		} else {
-			res.snicIPC = ipcs
+		ipcs[models[i]] = out
+	}
+
+	// One IPC column per model; if S-NIC and a commodity model are both
+	// present, report S-NIC's degradation against the first commodity one.
+	commodity := ""
+	for _, m := range models {
+		if m != "snic" {
+			commodity = m
+			break
 		}
 	}
-	fmt.Printf("%-6s %-14s %-14s %s\n", "NF", "baseline IPC", "S-NIC IPC", "degradation")
+	withDeg := commodity != "" && ipcs["snic"] != nil
+	fmt.Printf("%-6s", "NF")
+	for _, m := range models {
+		fmt.Printf(" %-14s", m)
+	}
+	if withDeg {
+		fmt.Printf(" %s", "S-NIC deg")
+	}
+	fmt.Println()
 	for i, name := range names {
-		d := (res.base[i] - res.snicIPC[i]) / res.base[i] * 100
-		if d < 0 {
-			d = 0
+		fmt.Printf("%-6s", strings.TrimSpace(name))
+		for _, m := range models {
+			fmt.Printf(" %-14.3f", ipcs[m][i])
 		}
-		fmt.Printf("%-6s %-14.3f %-14.3f %.2f%%\n", strings.TrimSpace(name), res.base[i], res.snicIPC[i], d)
+		if withDeg {
+			d := (ipcs[commodity][i] - ipcs["snic"][i]) / ipcs[commodity][i] * 100
+			if d < 0 {
+				d = 0
+			}
+			fmt.Printf(" %.2f%%", d)
+		}
+		fmt.Println()
 	}
 	return nil
 }

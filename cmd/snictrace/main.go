@@ -13,12 +13,11 @@ import (
 	"fmt"
 	"os"
 
-	"snic/internal/attest"
+	"snic/internal/device"
 	"snic/internal/nf"
 	"snic/internal/pkt"
 	"snic/internal/pktio"
 	"snic/internal/sim"
-	"snic/internal/snic"
 	"snic/internal/trace"
 )
 
@@ -76,43 +75,33 @@ func doReplay(path string) error {
 		return err
 	}
 
-	vendor, err := attest.NewVendor("Acme Silicon", nil)
+	dev, err := device.New(device.Spec{Model: "snic", Cores: 4, MemBytes: 64 << 20})
 	if err != nil {
 		return err
 	}
-	dev, err := snic.New(snic.Config{Cores: 4, MemBytes: 64 << 20}, vendor)
-	if err != nil {
-		return err
-	}
-	rep, err := dev.Launch(snic.LaunchSpec{
-		CoreMask: 0b01,
+	id, err := dev.Launch(device.FuncSpec{
+		Name:     "replay-firewall",
 		Image:    []byte("replay-firewall"),
 		MemBytes: 4 << 20,
 		Rules:    []pktio.MatchSpec{{}}, // catch-all
-		DMACore:  -1,
 	})
 	if err != nil {
 		return err
 	}
 	fw := nf.NewFirewall(trace.FirewallRules(sim.NewRand(7), 128))
-	vpp := dev.NF(rep.ID).VPP
 
 	var delivered, passed, dropped, parseErr int
 	for _, frame := range frames {
-		owner, err := dev.Switch().Deliver(frame)
-		if err != nil || owner != rep.ID {
+		owner, err := dev.Inject(frame)
+		if err != nil || owner != id {
 			parseErr++
 			continue
 		}
-		desc, ok := vpp.Pop()
-		if !ok {
+		raw, err := dev.Retrieve(id)
+		if err != nil {
 			continue
 		}
 		delivered++
-		raw := make([]byte, desc.Len)
-		if err := dev.NFRead(rep.ID, desc.VA, raw); err != nil {
-			return err
-		}
 		p, err := pkt.Parse(raw)
 		if err != nil {
 			parseErr++

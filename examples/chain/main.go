@@ -10,7 +10,7 @@ import (
 	"fmt"
 	"log"
 
-	"snic/internal/attest"
+	"snic/internal/device"
 	"snic/internal/nf"
 	"snic/internal/pkt"
 	"snic/internal/pktio"
@@ -40,14 +40,13 @@ func pop(dev *snic.Device, id snic.ID) (pktio.Descriptor, pkt.Packet, error) {
 }
 
 func run() error {
-	vendor, err := attest.NewVendor("Acme Silicon", nil)
+	// Chaining needs SendLocal and per-NF VPP access, so build through
+	// the registry and unwrap the S-NIC adapter.
+	n, err := device.New(device.Spec{Model: "snic", Cores: 8, MemBytes: 64 << 20})
 	if err != nil {
 		return err
 	}
-	dev, err := snic.New(snic.Config{Cores: 8, MemBytes: 64 << 20}, vendor)
-	if err != nil {
-		return err
-	}
+	dev := n.(*device.SNIC).Underlying()
 
 	// Three chained stages, each its own virtual NIC. Only the firewall
 	// has a wire-facing switching rule; the rest receive via SendLocal.

@@ -13,6 +13,7 @@ import (
 	"math/big"
 
 	"snic/internal/attest"
+	"snic/internal/device"
 	"snic/internal/enclave"
 	"snic/internal/snic"
 )
@@ -34,11 +35,15 @@ func run() error {
 		return err
 	}
 
-	// The S-NIC runs the tenant's intrusion-detection middlebox.
-	dev, err := snic.New(snic.Config{Cores: 4, MemBytes: 32 << 20}, nicVendor)
+	// The S-NIC runs the tenant's intrusion-detection middlebox; the
+	// registry builds it under the NIC vendor's attestation root.
+	n, err := device.New(device.Spec{
+		Model: "snic", Cores: 4, MemBytes: 32 << 20, Vendor: nicVendor,
+	})
 	if err != nil {
 		return err
 	}
+	dev := n.(*device.SNIC).Underlying()
 	rep, err := dev.Launch(snic.LaunchSpec{
 		CoreMask: 0b01,
 		Image:    []byte("ids-middlebox-v3"),

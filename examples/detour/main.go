@@ -15,6 +15,7 @@ import (
 	"math/big"
 
 	"snic/internal/attest"
+	"snic/internal/device"
 	"snic/internal/enclave"
 	"snic/internal/nf"
 	"snic/internal/pkt"
@@ -45,11 +46,16 @@ func run() error {
 		return err
 	}
 
-	// The cloud provider hosts an S-NIC running the shared IDS middlebox.
-	dev, err := snic.New(snic.Config{Cores: 4, MemBytes: 32 << 20}, nicVendor)
+	// The cloud provider hosts an S-NIC running the shared IDS middlebox;
+	// the device is built through the registry under the NIC vendor's
+	// attestation root.
+	n, err := device.New(device.Spec{
+		Model: "snic", Cores: 4, MemBytes: 32 << 20, Vendor: nicVendor,
+	})
 	if err != nil {
 		return err
 	}
+	dev := n.(*device.SNIC).Underlying()
 	rep, err := dev.Launch(snic.LaunchSpec{
 		CoreMask: 0b01,
 		Image:    []byte("cross-enterprise-ids-v2"),

@@ -10,6 +10,7 @@ import (
 	"log"
 
 	"snic/internal/attest"
+	"snic/internal/device"
 	"snic/internal/nf"
 	"snic/internal/nicos"
 	"snic/internal/pkt"
@@ -26,15 +27,16 @@ func main() {
 }
 
 func run() error {
-	// 1. The NIC vendor endorses a new S-NIC at "manufacturing time".
-	vendor, err := attest.NewVendor("Acme Silicon", nil)
+	// 1. Build the device through the registry; the factory endorses the
+	// S-NIC under a vendor attestation root at "manufacturing time". The
+	// quickstart needs the full §4 API (VPPs, launch reports), so it
+	// unwraps the adapter.
+	n, err := device.New(device.Spec{Model: "snic", Cores: 8, MemBytes: 128 << 20})
 	if err != nil {
 		return err
 	}
-	dev, err := snic.New(snic.Config{Cores: 8, MemBytes: 128 << 20}, vendor)
-	if err != nil {
-		return err
-	}
+	adapter := n.(*device.SNIC)
+	dev, vendor := adapter.Underlying(), adapter.Vendor()
 	osd := nicos.New(dev)
 	fmt.Println("S-NIC up:", dev.Cores(), "programmable cores,",
 		dev.Memory().Size()>>20, "MB DRAM")

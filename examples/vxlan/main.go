@@ -1,7 +1,8 @@
 // VXLAN: two tenants own overlapping virtual L2 networks (even identical
 // inner 5-tuples); the S-NIC steers frames to each tenant's NF by VXLAN
 // Network Identifier (§4.4), so every function acts as an endpoint on its
-// tenant's private Layer-2 topology.
+// tenant's private Layer-2 topology. Built and driven entirely through
+// the device.NIC interface.
 //
 //	go run ./examples/vxlan
 package main
@@ -10,10 +11,9 @@ import (
 	"fmt"
 	"log"
 
-	"snic/internal/attest"
+	"snic/internal/device"
 	"snic/internal/pkt"
 	"snic/internal/pktio"
-	"snic/internal/snic"
 )
 
 func main() {
@@ -23,25 +23,20 @@ func main() {
 }
 
 func run() error {
-	vendor, err := attest.NewVendor("Acme Silicon", nil)
-	if err != nil {
-		return err
-	}
-	dev, err := snic.New(snic.Config{Cores: 4, MemBytes: 64 << 20}, vendor)
+	dev, err := device.New(device.Spec{Model: "snic", Cores: 4, MemBytes: 64 << 20})
 	if err != nil {
 		return err
 	}
 
 	// Tenant green owns VNI 1001, tenant blue owns VNI 2002.
-	launch := func(name string, mask uint64, vni uint32) (snic.ID, error) {
-		rep, err := dev.Launch(snic.LaunchSpec{
-			CoreMask: mask,
+	launch := func(name string, mask uint64, vni uint32) (device.FuncID, error) {
+		return dev.Launch(device.FuncSpec{
+			Name:     name,
 			Image:    []byte(name),
 			MemBytes: 4 << 20,
+			CoreMask: mask,
 			Rules:    []pktio.MatchSpec{{VNI: vni}},
-			DMACore:  -1,
 		})
-		return rep.ID, err
 	}
 	green, err := launch("green-monitor", 0b01, 1001)
 	if err != nil {
@@ -66,7 +61,7 @@ func run() error {
 
 	deliveries := []struct {
 		frame []byte
-		want  snic.ID
+		want  device.FuncID
 		label string
 	}{
 		{mk(1001, "green secret"), green, "VNI 1001"},
@@ -74,7 +69,7 @@ func run() error {
 		{mk(3003, "stray tenant"), 0, "VNI 3003 (no NF)"},
 	}
 	for _, d := range deliveries {
-		owner, err := dev.Switch().Deliver(d.frame)
+		owner, err := dev.Inject(d.frame)
 		if err != nil {
 			return err
 		}
@@ -88,16 +83,11 @@ func run() error {
 	// Each NF decapsulates its own frame and sees its tenant's payload —
 	// and only its own.
 	for _, tn := range []struct {
-		id   snic.ID
+		id   device.FuncID
 		want string
 	}{{green, "green secret"}, {blue, "blue secret"}} {
-		vpp := dev.NF(tn.id).VPP
-		desc, ok := vpp.Pop()
-		if !ok {
-			return fmt.Errorf("NF %d has no frame", tn.id)
-		}
-		raw := make([]byte, desc.Len)
-		if err := dev.NFRead(tn.id, desc.VA, raw); err != nil {
+		raw, err := dev.Retrieve(tn.id)
+		if err != nil {
 			return err
 		}
 		inner, err := pkt.Parse(raw) // decapsulates, exposing the VNI

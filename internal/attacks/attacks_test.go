@@ -4,116 +4,101 @@ import (
 	"testing"
 
 	"snic/internal/bus"
-
-	"snic/internal/attest"
-	"snic/internal/baseline"
 	"snic/internal/cache"
-	"snic/internal/sim"
-	"snic/internal/snic"
-	"snic/internal/trace"
+	"snic/internal/device"
 )
 
-func newLiquidIO(t *testing.T) *baseline.LiquidIO {
+func buildDevice(t *testing.T, model string) device.NIC {
 	t.Helper()
-	l, err := baseline.NewLiquidIO(16<<20, baseline.SES, true)
+	dev, err := device.New(device.Spec{Model: model, Cores: 4, MemBytes: 16 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return l
+	return dev
 }
 
-func newSNICPair(t *testing.T) (*snic.Device, snic.ID, snic.ID) {
-	t.Helper()
-	v, _ := attest.NewVendor("V", nil)
-	d, err := snic.New(snic.Config{Cores: 4, MemBytes: 32 << 20}, v)
+// TestSuiteMatchesCapabilityPrediction is the central property of the
+// polymorphic suite: on every registered model, every attack's observed
+// outcome equals the prediction from the device's capability flags.
+func TestSuiteMatchesCapabilityPrediction(t *testing.T) {
+	for _, model := range device.Models() {
+		t.Run(model, func(t *testing.T) {
+			dev := buildDevice(t, model)
+			results, err := RunAll(dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			suite := Suite()
+			if len(results) != len(suite) {
+				t.Fatalf("got %d results for %d attacks", len(results), len(suite))
+			}
+			for i, a := range suite {
+				want := a.Expected(dev.Caps())
+				got := results[i]
+				if got.Name != a.Name || got.Target != model {
+					t.Fatalf("result %d mislabelled: %+v", i, got)
+				}
+				if got.Succeeded != want {
+					t.Errorf("%s vs %s: succeeded=%v, capability prediction %v (%s)",
+						a.Name, model, got.Succeeded, want, got.Detail)
+				}
+			}
+		})
+	}
+}
+
+// TestSNICBlocksEverything and TestEveryAttackLandsSomewhere pin the
+// paper's headline claims independently of the capability tables.
+func TestSNICBlocksEverything(t *testing.T) {
+	results, err := RunAll(buildDevice(t, "snic"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	mk := func(mask uint64) snic.ID {
-		rep, err := d.Launch(snic.LaunchSpec{
-			CoreMask: mask, Image: []byte("nf"), MemBytes: 1 << 20, DMACore: -1,
-		})
+	for _, r := range results {
+		if r.Succeeded {
+			t.Errorf("%s succeeded against S-NIC: %s", r.Name, r.Detail)
+		}
+	}
+}
+
+func TestEveryAttackLandsSomewhere(t *testing.T) {
+	landed := make(map[string]bool)
+	for _, model := range device.Models() {
+		if model == "snic" {
+			continue
+		}
+		results, err := RunAll(buildDevice(t, model))
 		if err != nil {
 			t.Fatal(err)
 		}
-		return rep.ID
+		for _, r := range results {
+			if r.Succeeded {
+				landed[r.Name] = true
+			}
+		}
 	}
-	return d, mk(0b01), mk(0b10)
-}
-
-func TestPacketCorruptionSucceedsOnLiquidIO(t *testing.T) {
-	res, err := PacketCorruptionLiquidIO(newLiquidIO(t))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Succeeded {
-		t.Fatalf("attack blocked on commodity NIC: %s", res.Detail)
+	for _, a := range Suite() {
+		if !landed[a.Name] {
+			t.Errorf("%s blocked on every baseline; the attack surface model is broken", a.Name)
+		}
 	}
 }
 
-func TestRulesetTheftSucceedsOnLiquidIO(t *testing.T) {
-	rng := sim.NewRand(1)
-	var ruleset []byte
-	for _, p := range trace.DPIPatterns(rng, 100) {
-		ruleset = append(ruleset, p...)
-		ruleset = append(ruleset, '\n')
-	}
-	res, err := RulesetTheftLiquidIO(newLiquidIO(t), ruleset)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Succeeded {
-		t.Fatalf("theft blocked on commodity NIC: %s", res.Detail)
-	}
-}
-
-func TestTheftBlockedOnSNIC(t *testing.T) {
-	d, victim, attacker := newSNICPair(t)
-	res, err := TheftSNIC(d, victim, attacker, []byte("THREAT-SIGNATURE-DB-v7"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Succeeded {
-		t.Fatalf("S-NIC leaked the secret: %s", res.Detail)
-	}
-}
-
-func TestCorruptionBlockedOnSNIC(t *testing.T) {
-	d, victim, attacker := newSNICPair(t)
-	res, err := CorruptionSNIC(d, victim, attacker)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Succeeded {
-		t.Fatalf("S-NIC allowed corruption: %s", res.Detail)
-	}
-}
-
-func TestBusDoSCrashesAgilio(t *testing.T) {
-	a, err := baseline.NewAgilio(16<<20, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := BusDoSAgilio(a, 200000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Succeeded {
-		t.Fatalf("DoS failed on unarbitrated bus: %s", res.Detail)
-	}
-}
-
-func TestSecureWorldSnoopsBlueField(t *testing.T) {
-	b, err := baseline.NewBlueField(16<<20, 4<<20)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := SecureWorldSnoopBlueField(b, []byte("tenant tls keys"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Succeeded {
-		t.Fatal("secure world failed to read tenant state (model broken)")
+// TestRequiresGate: an attack whose prerequisite capability is missing
+// must report blocked without running.
+func TestRequiresGate(t *testing.T) {
+	dev := buildDevice(t, "liquidio-ses") // no demand paging
+	for _, a := range Suite() {
+		if a.Name != "controlled-channel" {
+			continue
+		}
+		res, err := a.Run(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Succeeded {
+			t.Fatalf("controlled channel succeeded without demand paging: %s", res.Detail)
+		}
 	}
 }
 
@@ -134,13 +119,6 @@ func TestPrimeProbeBlindOnStaticPartition(t *testing.T) {
 	}
 	if acc < 0.35 || acc > 0.65 {
 		t.Fatalf("partitioned-cache prime+probe accuracy %.2f, want ~0.5 (chance)", acc)
-	}
-}
-
-func TestCryptoContentionLeaks(t *testing.T) {
-	a, _ := baseline.NewAgilio(16<<20, 2)
-	if acc := CryptoContentionAgilio(a, 200, 7); acc < 0.95 {
-		t.Fatalf("crypto contention accuracy %.2f, want ~1.0", acc)
 	}
 }
 

@@ -67,6 +67,15 @@ func (b *BlueField) NormalRead(pa mem.Addr, buf []byte) error {
 	return b.pm.Read(pa, buf)
 }
 
+// NormalWrite is a normal-world write: like NormalRead, the TrustZone
+// address-space controller blocks secure addresses.
+func (b *BlueField) NormalWrite(pa mem.Addr, data []byte) error {
+	if b.inSecure(pa, len(data)) || (pa < b.secureBase && uint64(pa)+uint64(len(data)) > uint64(b.secureBase)) {
+		return fmt.Errorf("baseline: TrustZone blocks normal-world access to secure memory")
+	}
+	return b.pm.Write(pa, data)
+}
+
 // SecureRead is a secure-world access: the management OS can read
 // ANYTHING, including other tenants' trustlets. This is the hole S-NIC
 // closes.

@@ -1,0 +1,40 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+)
+
+// builders maps model name -> constructor. Adapters register themselves
+// at init time, so Models() is the authoritative list the CLIs and the
+// attack matrix sweep over.
+var builders = map[string]func(Spec) (NIC, error){}
+
+// Register installs a model constructor. Duplicate names are a
+// programming error.
+func Register(model string, build func(Spec) (NIC, error)) {
+	if _, dup := builders[model]; dup {
+		panic("device: duplicate model " + model)
+	}
+	builders[model] = build
+}
+
+// Models returns the registered model names, sorted.
+func Models() []string {
+	out := make([]string, 0, len(builders))
+	for m := range builders {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds a device from spec via the registry.
+func New(spec Spec) (NIC, error) {
+	build, ok := builders[spec.Model]
+	if !ok {
+		return nil, fmt.Errorf("device: unknown model %q (have %v)", spec.Model, Models())
+	}
+	spec.defaults()
+	return build(spec)
+}

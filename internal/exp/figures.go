@@ -4,8 +4,9 @@ import (
 	"fmt"
 
 	"snic/internal/accel"
-	"snic/internal/attest"
+	"snic/internal/device"
 	"snic/internal/engine"
+	"snic/internal/mem"
 	"snic/internal/nf"
 	"snic/internal/pkt"
 	"snic/internal/sim"
@@ -50,22 +51,24 @@ func (r *Runner) Figure6() ([]Fig6Row, error) {
 
 // launchProfile measures one NF's launch/attest/destroy breakdown on a
 // freshly built device (core placement matches the shared-device layout:
-// NF i on core i mod 12). Every reported latency is model-derived, so
-// rows are identical no matter which worker runs the job.
+// NF i on core i mod 12). The device comes from the internal/device
+// registry like every other harness; the breakdown needs the underlying
+// *snic.Device for launch reports. Every reported latency is
+// model-derived, so rows are identical no matter which worker runs the
+// job.
 func launchProfile(i int, name string) (Fig6Row, error) {
-	vendor, err := attest.NewVendor("SNIC Vendor", nil)
+	n, err := device.New(device.Spec{
+		Model: "snic", Cores: 12, MemBytes: 2 << 30, FrameSize: 2 << 20,
+	})
 	if err != nil {
 		return Fig6Row{}, err
 	}
-	dev, err := snic.New(snic.Config{Cores: 12, MemBytes: 2 << 30, FrameSize: 2 << 20}, vendor)
-	if err != nil {
-		return Fig6Row{}, err
-	}
+	dev := n.(*device.SNIC).Underlying()
 	prof, err := nf.PaperProfile(name)
 	if err != nil {
 		return Fig6Row{}, err
 	}
-	memBytes := alignUp(prof.Total(), 2<<20)
+	memBytes := mem.AlignUp(prof.Total(), 2<<20)
 	rep, err := dev.Launch(snic.LaunchSpec{
 		CoreMask: 1 << uint(i%12),
 		Image:    []byte(name + " image"),
@@ -94,8 +97,6 @@ func launchProfile(i int, name string) (Fig6Row, error) {
 		DestroyScrub: tr.ScrubMS,
 	}, nil
 }
-
-func alignUp(n, a uint64) uint64 { return (n + a - 1) / a * a }
 
 // RenderFig6 formats the latency breakdowns.
 func RenderFig6(rows []Fig6Row) Table {

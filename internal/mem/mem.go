@@ -14,6 +14,12 @@ import (
 	"sort"
 )
 
+// AlignUp rounds n up to the next multiple of a (a must be non-zero).
+// Sizing calculations all over the device layer — TLB entry spans,
+// launch-profile reservations, frame-aligned windows — share this one
+// definition.
+func AlignUp(n, a uint64) uint64 { return (n + a - 1) / a * a }
+
 // Owner identifies a principal that can own physical frames.
 type Owner uint16
 

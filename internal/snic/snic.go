@@ -367,7 +367,7 @@ func (d *Device) Launch(spec LaunchSpec) (LaunchReport, error) {
 	schedEntries := []tlb.Entry{{
 		VA:   ringBase,
 		PA:   region.Start,
-		Size: alignUp(uint64(spec.RingSlots*spec.RingSlot), d.cfg.FrameSize),
+		Size: mem.AlignUp(uint64(spec.RingSlots*spec.RingSlot), d.cfg.FrameSize),
 		Perm: tlb.PermRW,
 	}}
 	if uint64(spec.RingSlots*spec.RingSlot) > spec.MemBytes {
@@ -527,6 +527,13 @@ func (d *Device) NFRead(id ID, va tlb.VAddr, buf []byte) error {
 	if err != nil {
 		return err
 	}
+	// The last byte must translate too: an access spanning past the
+	// locked mapping is a fatal miss, never a window onto the next frame.
+	if len(buf) > 1 {
+		if _, err := v.TLB.Translate(va+tlb.VAddr(len(buf)-1), tlb.PermRead); err != nil {
+			return err
+		}
+	}
 	return d.pm.Read(pa, buf)
 }
 
@@ -539,6 +546,11 @@ func (d *Device) NFWrite(id ID, va tlb.VAddr, data []byte) error {
 	pa, err := v.TLB.Translate(va, tlb.PermWrite)
 	if err != nil {
 		return err
+	}
+	if len(data) > 1 {
+		if _, err := v.TLB.Translate(va+tlb.VAddr(len(data)-1), tlb.PermWrite); err != nil {
+			return err
+		}
 	}
 	return d.pm.Write(pa, data)
 }
@@ -558,6 +570,10 @@ func (d *Device) MgmtRead(va tlb.VAddr, buf []byte) error {
 	return d.pm.Read(pa, buf)
 }
 
+// MgmtUnmap flushes the management-core mapping covering va (a software
+// TLB shootdown; the management bank is never locked).
+func (d *Device) MgmtUnmap(va tlb.VAddr) bool { return d.mgmt.Evict(va) }
+
 // MgmtWrite writes through the management core's MMU.
 func (d *Device) MgmtWrite(va tlb.VAddr, data []byte) error {
 	pa, err := d.mgmt.Translate(va, tlb.PermWrite)
@@ -566,8 +582,6 @@ func (d *Device) MgmtWrite(va tlb.VAddr, data []byte) error {
 	}
 	return d.pm.Write(pa, data)
 }
-
-func alignUp(n, a uint64) uint64 { return (n + a - 1) / a * a }
 
 func u64bytes(v uint64) []byte {
 	var b [8]byte
