@@ -3,9 +3,12 @@ GO ?= go
 # Tier-1 verification: everything CI (and the next PR's author) must keep
 # green. `race` exercises the experiment engine's worker pool across all
 # packages; the exp tests include worker-count-invariance and golden-file
-# checks, so this target is the full reproducibility gate.
+# checks, so this target is the full reproducibility gate. `lint` is the
+# invariant gate: sniclint enforces the determinism, factory, seed, and
+# stdlib-only rules the goldens depend on (see DESIGN.md "Enforced
+# invariants").
 .PHONY: verify
-verify: build vet test race
+verify: build vet lint test race
 
 .PHONY: build
 build:
@@ -14,6 +17,11 @@ build:
 .PHONY: vet
 vet:
 	$(GO) vet ./...
+
+# Static invariant checks (sniclint -list describes each check ID).
+.PHONY: lint
+lint:
+	$(GO) run ./cmd/sniclint ./...
 
 .PHONY: test
 test:

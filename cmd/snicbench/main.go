@@ -16,12 +16,16 @@
 // -workers trades wall-clock only. -v reports per-sweep engine metrics
 // on stderr: job counts, wall time vs summed job time, and the slowest
 // configuration point.
+//
+// Exit status: 0 on success, 1 when an experiment fails, 2 for usage
+// errors (unknown experiment, bad -format, bad flags).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"snic/internal/engine"
@@ -29,19 +33,139 @@ import (
 	"snic/internal/nf"
 )
 
-// experiments lists every runnable experiment in output order.
-var experiments = []string{
-	"table2", "table3", "table4", "table5", "table6", "table7", "table8",
-	"tco", "headline", "fig5a", "fig5b", "fig6", "fig7", "fig8", "attacks",
+// bench carries everything an experiment needs: the engine-backed
+// runner, the scale configuration, the output emitter, and the NF
+// profiles memoized across the experiments that share them.
+type bench struct {
+	runner   *exp.Runner
+	cfgs     configs
+	outFmt   exp.Format
+	profiles []exp.NFProfile
 }
 
-func known(name string) bool {
-	for _, e := range experiments {
-		if e == name {
-			return true
-		}
+func (b *bench) emit(t exp.Table) error {
+	s, err := t.Render(b.outFmt)
+	if err != nil {
+		return err
 	}
-	return false
+	fmt.Println(s)
+	return nil
+}
+
+// profile memoizes the shared NF profiling sweep (table6 and table8
+// both consume it, whichever runs first).
+func (b *bench) profile() error {
+	if b.profiles != nil {
+		return nil
+	}
+	var err error
+	b.profiles, err = b.runner.ProfileNFs(b.cfgs.suite, b.cfgs.flows, b.cfgs.packets)
+	return err
+}
+
+// registry maps every experiment name to its runner. Iteration over the
+// map never determines output: -list and -experiment all go through
+// experimentNames(), which sorts, so ordering is a property of the
+// names themselves rather than of map or declaration order.
+var registry = map[string]func(*bench) error{
+	"table2": func(b *bench) error { return b.emit(exp.Table2()) },
+	"table3": func(b *bench) error { return b.emit(exp.Table3()) },
+	"table4": func(b *bench) error { return b.emit(exp.Table4()) },
+	"table5": func(b *bench) error {
+		t, err := b.runner.Table5()
+		if err != nil {
+			return err
+		}
+		return b.emit(t)
+	},
+	"table6": func(b *bench) error {
+		if err := b.profile(); err != nil {
+			return err
+		}
+		return b.emit(exp.Table6(b.profiles))
+	},
+	"table7": func(b *bench) error {
+		t, err := b.runner.Table7(0)
+		if err != nil {
+			return err
+		}
+		return b.emit(t)
+	},
+	"table8": func(b *bench) error {
+		if err := b.profile(); err != nil {
+			return err
+		}
+		return b.emit(exp.Table8(b.profiles))
+	},
+	"tco":      func(b *bench) error { return b.emit(exp.TCO()) },
+	"headline": func(b *bench) error { return b.emit(exp.Headline()) },
+	"fig5a": func(b *bench) error {
+		rows, err := b.runner.Figure5a(b.cfgs.fig5, b.cfgs.l2Sizes)
+		if err != nil {
+			return err
+		}
+		if err := b.emit(exp.RenderFig5("Figure 5a: IPC degradation vs L2 size (2 NFs)", rows)); err != nil {
+			return err
+		}
+		med, p99 := exp.MedianAcrossNFs(rows, "4MB")
+		fmt.Printf("  2 NFs @ 4MB: mean-of-medians %.2f%%, p99 %.2f%% (paper: 0.24%% median)\n\n", med, p99)
+		return nil
+	},
+	"fig5b": func(b *bench) error {
+		rows, err := b.runner.Figure5b(b.cfgs.fig5, b.cfgs.counts)
+		if err != nil {
+			return err
+		}
+		if err := b.emit(exp.RenderFig5("Figure 5b: IPC degradation vs co-tenancy (4MB L2)", rows)); err != nil {
+			return err
+		}
+		for _, n := range b.cfgs.counts {
+			med, p99 := exp.MedianAcrossNFs(rows, fmt.Sprintf("%d NFs", n))
+			fmt.Printf("  %2d NFs @ 4MB: mean-of-medians %.2f%%, p99 %.2f%%\n", n, med, p99)
+		}
+		fmt.Println("  (paper: 4 NFs 0.93%/1.66%, 8 NFs 3.41%/5.12%, 16 NFs 9.44%/13.71%)")
+		fmt.Println()
+		return nil
+	},
+	"fig6": func(b *bench) error {
+		rows, err := b.runner.Figure6()
+		if err != nil {
+			return err
+		}
+		return b.emit(exp.RenderFig6(rows))
+	},
+	"fig7": func(b *bench) error {
+		series, err := b.runner.Figure7(b.cfgs.fig7Seconds, b.cfgs.fig7Rate, 150)
+		if err != nil {
+			return err
+		}
+		return b.emit(exp.RenderFig7(series))
+	},
+	"fig8": func(b *bench) error {
+		rows, err := b.runner.Figure8(b.cfgs.fig8Requests)
+		if err != nil {
+			return err
+		}
+		return b.emit(exp.RenderFig8(rows))
+	},
+	"attacks": func(b *bench) error {
+		cols, err := b.runner.AttackMatrix()
+		if err != nil {
+			return err
+		}
+		return b.emit(exp.RenderAttackMatrix(cols))
+	},
+}
+
+// experimentNames returns the registry's keys sorted, the only order
+// the tool ever exposes.
+func experimentNames() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func main() {
@@ -54,14 +178,14 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiments {
+		for _, e := range experimentNames() {
 			fmt.Println(e)
 		}
 		return
 	}
-	if *experiment != "all" && !known(*experiment) {
+	if *experiment != "all" && registry[*experiment] == nil {
 		fmt.Fprintf(os.Stderr, "snicbench: unknown experiment %q (valid: %s, all)\n",
-			*experiment, strings.Join(experiments, ", "))
+			*experiment, strings.Join(experimentNames(), ", "))
 		os.Exit(2)
 	}
 
@@ -71,130 +195,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	runner := &exp.Runner{Workers: *workers}
+	b := &bench{
+		runner: &exp.Runner{Workers: *workers},
+		cfgs:   scaleConfigs(*scale),
+		outFmt: outFmt,
+	}
 	if *verbose {
-		runner.Observe = func(m engine.Metrics) { fmt.Fprintln(os.Stderr, m.String()) }
-		runner.OnJob = func(s engine.JobStat) {
+		b.runner.Observe = func(m engine.Metrics) { fmt.Fprintln(os.Stderr, m.String()) }
+		b.runner.OnJob = func(s engine.JobStat) {
 			fmt.Fprintf(os.Stderr, "engine: %s/%s done in %v (worker %d)\n",
 				s.Experiment, s.Key, s.Duration, s.Worker)
 		}
 	}
-	emit := func(t exp.Table) error {
-		s, err := t.Render(outFmt)
-		if err != nil {
-			return err
-		}
-		fmt.Println(s)
-		return nil
-	}
 
-	cfgs := scaleConfigs(*scale)
-	run := func(name string, fn func() error) {
+	for _, name := range experimentNames() {
 		if *experiment != "all" && *experiment != name {
-			return
+			continue
 		}
-		if err := fn(); err != nil {
+		if err := registry[name](b); err != nil {
 			fmt.Fprintf(os.Stderr, "snicbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
-
-	run("table2", func() error { return emit(exp.Table2()) })
-	run("table3", func() error { return emit(exp.Table3()) })
-	run("table4", func() error { return emit(exp.Table4()) })
-	run("table5", func() error {
-		t, err := runner.Table5()
-		if err != nil {
-			return err
-		}
-		return emit(t)
-	})
-	var profiles []exp.NFProfile
-	profile := func() error {
-		if profiles != nil {
-			return nil
-		}
-		var err error
-		profiles, err = runner.ProfileNFs(cfgs.suite, cfgs.flows, cfgs.packets)
-		return err
-	}
-	run("table6", func() error {
-		if err := profile(); err != nil {
-			return err
-		}
-		return emit(exp.Table6(profiles))
-	})
-	run("table7", func() error {
-		t, err := runner.Table7(0)
-		if err != nil {
-			return err
-		}
-		return emit(t)
-	})
-	run("table8", func() error {
-		if err := profile(); err != nil {
-			return err
-		}
-		return emit(exp.Table8(profiles))
-	})
-	run("tco", func() error { return emit(exp.TCO()) })
-	run("headline", func() error { return emit(exp.Headline()) })
-	run("fig5a", func() error {
-		rows, err := runner.Figure5a(cfgs.fig5, cfgs.l2Sizes)
-		if err != nil {
-			return err
-		}
-		if err := emit(exp.RenderFig5("Figure 5a: IPC degradation vs L2 size (2 NFs)", rows)); err != nil {
-			return err
-		}
-		med, p99 := exp.MedianAcrossNFs(rows, "4MB")
-		fmt.Printf("  2 NFs @ 4MB: mean-of-medians %.2f%%, p99 %.2f%% (paper: 0.24%% median)\n\n", med, p99)
-		return nil
-	})
-	run("fig5b", func() error {
-		rows, err := runner.Figure5b(cfgs.fig5, cfgs.counts)
-		if err != nil {
-			return err
-		}
-		if err := emit(exp.RenderFig5("Figure 5b: IPC degradation vs co-tenancy (4MB L2)", rows)); err != nil {
-			return err
-		}
-		for _, n := range cfgs.counts {
-			med, p99 := exp.MedianAcrossNFs(rows, fmt.Sprintf("%d NFs", n))
-			fmt.Printf("  %2d NFs @ 4MB: mean-of-medians %.2f%%, p99 %.2f%%\n", n, med, p99)
-		}
-		fmt.Println("  (paper: 4 NFs 0.93%/1.66%, 8 NFs 3.41%/5.12%, 16 NFs 9.44%/13.71%)")
-		fmt.Println()
-		return nil
-	})
-	run("fig6", func() error {
-		rows, err := runner.Figure6()
-		if err != nil {
-			return err
-		}
-		return emit(exp.RenderFig6(rows))
-	})
-	run("fig7", func() error {
-		series, err := runner.Figure7(cfgs.fig7Seconds, cfgs.fig7Rate, 150)
-		if err != nil {
-			return err
-		}
-		return emit(exp.RenderFig7(series))
-	})
-	run("fig8", func() error {
-		rows, err := runner.Figure8(cfgs.fig8Requests)
-		if err != nil {
-			return err
-		}
-		return emit(exp.RenderFig8(rows))
-	})
-	run("attacks", func() error {
-		cols, err := runner.AttackMatrix()
-		if err != nil {
-			return err
-		}
-		return emit(exp.RenderAttackMatrix(cols))
-	})
 }
 
 type configs struct {

@@ -1,0 +1,83 @@
+// Command sniclint runs the module's invariant checks — the static
+// gates behind the reproduction's determinism, factory, and purity
+// guarantees. Usage:
+//
+//	sniclint ./...                        # whole module (what make lint runs)
+//	sniclint -checks determinism ./...    # one check
+//	sniclint -json ./internal/...         # machine-readable findings
+//	sniclint -list                        # check IDs and what they guard
+//
+// Findings can be waived per site with //lint:allow <check-id> <reason>.
+// Exit status: 0 clean, 1 findings, 2 usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"snic/internal/lint"
+)
+
+func main() {
+	checkList := flag.String("checks", "", "comma-separated check IDs to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	list := flag.Bool("list", false, "list check IDs and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: sniclint [-checks id,id] [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.Registry() {
+			fmt.Printf("%-20s %s\n", c.Name(), c.Doc())
+		}
+		return
+	}
+
+	checks, err := lint.Select(strings.Split(*checkList, ","))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sniclint:", err)
+		os.Exit(2)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sniclint:", err)
+		os.Exit(2)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sniclint:", err)
+		os.Exit(2)
+	}
+
+	loader := lint.NewLoader("snic", root)
+	pkgs, err := loader.LoadPatterns(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sniclint:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(loader.Fset, pkgs, checks)
+	trim := root + string(os.PathSeparator)
+	if *jsonOut {
+		out, err := lint.RenderJSON(diags, trim)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sniclint:", err)
+			os.Exit(2)
+		}
+		fmt.Print(out)
+	} else {
+		fmt.Print(lint.RenderText(diags, trim))
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "sniclint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -88,7 +88,9 @@ func doReplay(path string) error {
 	if err != nil {
 		return err
 	}
-	fw := nf.NewFirewall(trace.FirewallRules(sim.NewRand(7), 128))
+	// The rule set is fixed (derived from a constant base, not -seed) so a
+	// saved trace replays against identical firewall behavior everywhere.
+	fw := nf.NewFirewall(trace.FirewallRules(sim.DeriveRand(7, "snictrace", "replay-rules"), 128))
 
 	var delivered, passed, dropped, parseErr int
 	for _, frame := range frames {

@@ -43,7 +43,7 @@ func run() error {
 
 	// 2. The tenant's firewall policy: drop cleartext HTTP, allow HTTPS
 	// (no matching rule means pass). Decisions are cached per flow.
-	rng := sim.NewRand(42)
+	rng := sim.DeriveRand(42, "quickstart", "traffic")
 	rules := []trace.FirewallRule{{
 		SrcPortLo: 0, SrcPortHi: 65535,
 		DstPortLo: 80, DstPortHi: 80,

@@ -14,7 +14,10 @@
 // Table 7 rather than the ~0.5 GB a raw 256-way table would need.
 package ac
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Automaton is a compiled pattern set.
 type Automaton struct {
@@ -83,15 +86,27 @@ func Compile(patterns [][]byte) (*Automaton, error) {
 		}
 		nodes[cur].out = append(nodes[cur].out, int32(pi))
 	}
-	// Phase 2: BFS failure links.
+	// Phase 2: BFS failure links. Children are visited in ascending class
+	// order so the queue — and with it the out-list concatenation order —
+	// is a pure function of the pattern set, not of map iteration.
+	sortedChildren := func(n *node) []uint16 {
+		cls := make([]uint16, 0, len(n.children))
+		for cl := range n.children {
+			cls = append(cls, cl)
+		}
+		sort.Slice(cls, func(i, j int) bool { return cls[i] < cls[j] })
+		return cls
+	}
 	queue := make([]int32, 0, len(nodes))
-	for _, c := range nodes[0].children {
+	for _, cl := range sortedChildren(nodes[0]) {
+		c := nodes[0].children[cl]
 		nodes[c].fail = 0
 		queue = append(queue, c)
 	}
 	for qi := 0; qi < len(queue); qi++ {
 		u := queue[qi]
-		for cl, v := range nodes[u].children {
+		for _, cl := range sortedChildren(nodes[u]) {
+			v := nodes[u].children[cl]
 			queue = append(queue, v)
 			f := nodes[u].fail
 			for {

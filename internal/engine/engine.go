@@ -140,7 +140,7 @@ func Run[T any](cfg Config, jobs []Job[T]) ([]T, Metrics, error) {
 	var cbMu sync.Mutex
 	var wg sync.WaitGroup
 	idx := make(chan int)
-	t0 := time.Now()
+	t0 := time.Now() //lint:allow determinism wall time feeds only Metrics.Wall, never results
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
@@ -149,11 +149,12 @@ func Run[T any](cfg Config, jobs []Job[T]) ([]T, Metrics, error) {
 				job := jobs[i]
 				started.Add(1)
 				rng := sim.DeriveRand(cfg.Seed, job.Experiment, job.Key)
-				jt := time.Now()
+				jt := time.Now() //lint:allow determinism per-job timing is -v observability only
 				v, err := runOne(job, rng)
 				stat := JobStat{
 					Experiment: job.Experiment, Key: job.Key,
 					Index: i, Worker: worker,
+					//lint:allow determinism JobStat.Duration is -v observability only
 					Duration: time.Since(jt), Err: err,
 				}
 				results[i] = v
@@ -173,7 +174,7 @@ func Run[T any](cfg Config, jobs []Job[T]) ([]T, Metrics, error) {
 	close(idx)
 	wg.Wait()
 
-	m.Wall = time.Since(t0)
+	m.Wall = time.Since(t0) //lint:allow determinism wall time feeds only Metrics.Wall, never results
 	m.Started = int(started.Load())
 	m.Finished = int(finished.Load())
 	var firstErr error

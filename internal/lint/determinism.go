@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// simulationPath reports whether an import path is part of the simulated
+// path, where wall-clock time and ambient randomness are forbidden:
+// everything under internal/ (the simulation kernel, device models, NFs,
+// experiments, and the engine that schedules them). Commands and
+// examples sit outside — they may time their own progress output —
+// though the two wall-clock sites the engine needs for -v metrics still
+// require explicit waivers because the engine itself is simulation-path.
+func simulationPath(path string) bool {
+	return strings.HasPrefix(path, "snic/internal/")
+}
+
+// forbiddenTimeFuncs are the package-time functions that read or depend
+// on the wall clock. time.Duration arithmetic and the unit constants
+// remain fine: they are plain numbers.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Determinism enforces DESIGN.md's "no time.Now in the simulated path"
+// promise: simulation-path packages must not consult the wall clock or
+// math/rand. Simulated time is cycles and bytes over calibrated rates,
+// and all randomness flows through sim.Rand so every experiment is a
+// pure function of its seed.
+type Determinism struct{}
+
+func (Determinism) Name() string { return "determinism" }
+
+func (Determinism) Doc() string {
+	return "forbid time.Now/time.Since and math/rand in simulation-path packages"
+}
+
+func (c Determinism) Run(p *Pass) []Diagnostic {
+	if !simulationPath(p.Pkg.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue // tests may time themselves; goldens catch nondeterminism
+		}
+		for _, imp := range f.AST.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case "math/rand", "math/rand/v2":
+				diags = append(diags, p.diag(c.Name(), imp,
+					"import of %s in simulation path: use snic/internal/sim (DeriveSeed/DeriveRand)",
+					strings.Trim(imp.Path.Value, `"`)))
+			}
+		}
+		timeName := importLocalName(f.AST, "time")
+		if timeName == "" {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !forbiddenTimeFuncs[sel.Sel.Name] {
+				return true
+			}
+			if p.pkgRef(id, "time", timeName) {
+				diags = append(diags, p.diag(c.Name(), sel,
+					"wall-clock call time.%s in simulation path: simulated time is cycles, not the clock",
+					sel.Sel.Name))
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,238 @@
+// Package lint is a stdlib-only static-analysis framework that enforces
+// the simulator's determinism, factory, and purity invariants at build
+// time. It loads every package in the module with go/parser and
+// type-checks it with go/types (no golang.org/x/tools), then runs a
+// registry of named checks, each producing position-tagged diagnostics
+// with machine-readable check IDs.
+//
+// The invariants it guards are the ones the reproduction's credibility
+// rests on: simulated time never reads the wall clock, all randomness
+// flows through sim.DeriveSeed/DeriveRand so golden files are
+// byte-identical at any -workers count, devices are built only through
+// the internal/device factory, and the module stays pure stdlib.
+//
+// A finding can be waived at a specific site with a comment:
+//
+//	//lint:allow <check-id> <reason>
+//
+// The waiver suppresses exactly the named check on its own line and on
+// the line immediately below (so it works both as a trailing comment and
+// as a standalone comment above the offending statement). A waiver with
+// no reason, or naming an unknown check, is itself a diagnostic.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a check ID, a source position, and a
+// human-readable message.
+type Diagnostic struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Check)
+}
+
+// Check is one named invariant. Run inspects a single package and
+// returns its findings; waiver filtering is applied by the framework,
+// so checks report every violation unconditionally.
+type Check interface {
+	Name() string // machine-readable ID, e.g. "determinism"
+	Doc() string  // one-line description for -list output and docs
+	Run(p *Pass) []Diagnostic
+}
+
+// Pass hands one loaded package to a check.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+}
+
+// diag constructs a Diagnostic for node at its position.
+func (p *Pass) diag(check string, node ast.Node, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Check:   check,
+		Pos:     p.Fset.Position(node.Pos()),
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// pkgRef reports whether id refers to the package imported as path.
+// When type information is available it resolves the identifier
+// properly (alias- and shadowing-aware); otherwise it falls back to
+// comparing against the file's local import name.
+func (p *Pass) pkgRef(id *ast.Ident, path, localName string) bool {
+	if p.Pkg.TypesInfo != nil {
+		if obj, ok := p.Pkg.TypesInfo.Uses[id]; ok {
+			pn, ok := obj.(*types.PkgName)
+			return ok && pn.Imported().Path() == path
+		}
+	}
+	return localName != "" && id.Name == localName
+}
+
+// importLocalName returns the identifier under which f imports path
+// ("" if f does not import it). An explicit alias wins; otherwise the
+// last path element is assumed (the convention every package in this
+// module follows).
+func importLocalName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// Registry returns the full check set in stable (sorted) order.
+func Registry() []Check {
+	checks := []Check{
+		Determinism{},
+		MapOrder{},
+		Factory{},
+		Seed{},
+		StdlibOnly{},
+	}
+	sort.Slice(checks, func(i, j int) bool { return checks[i].Name() < checks[j].Name() })
+	return checks
+}
+
+// Select filters the registry down to the named checks. It returns an
+// error naming the first unknown ID, so callers can exit with a usage
+// error rather than silently running nothing.
+func Select(names []string) ([]Check, error) {
+	all := Registry()
+	byName := make(map[string]Check, len(all))
+	for _, c := range all {
+		byName[c.Name()] = c
+	}
+	var out []Check
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		c, ok := byName[n]
+		if !ok {
+			known := make([]string, 0, len(all))
+			for _, c := range all {
+				known = append(known, c.Name())
+			}
+			return nil, fmt.Errorf("unknown check %q (known: %s)", n, strings.Join(known, ", "))
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return all, nil
+	}
+	return out, nil
+}
+
+// Run executes checks over pkgs, applies //lint:allow waivers, validates
+// the waivers themselves, and returns the surviving diagnostics sorted
+// by position. The returned slice is empty (not nil) on a clean tree so
+// callers can len() it without nil checks.
+func Run(fset *token.FileSet, pkgs []*Package, checks []Check) []Diagnostic {
+	known := make(map[string]bool)
+	for _, c := range Registry() {
+		known[c.Name()] = true
+	}
+
+	diags := []Diagnostic{}
+	var waivers []waiver
+	for _, pkg := range pkgs {
+		pass := &Pass{Fset: fset, Pkg: pkg}
+		for _, c := range checks {
+			diags = append(diags, c.Run(pass)...)
+		}
+		w, bad := parseWaivers(fset, pkg, known)
+		waivers = append(waivers, w...)
+		diags = append(diags, bad...)
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(d, waivers) {
+			kept = append(kept, d)
+		}
+	}
+	sortDiagnostics(kept)
+	return kept
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}
+
+// RenderText formats diagnostics one per line, the way compilers do.
+// Paths are printed as recorded in the file set; pass trimPrefix to
+// shorten them (e.g. the module root plus "/").
+func RenderText(ds []Diagnostic, trimPrefix string) string {
+	var b strings.Builder
+	for _, d := range ds {
+		d.Pos.Filename = strings.TrimPrefix(d.Pos.Filename, trimPrefix)
+		fmt.Fprintln(&b, d.String())
+	}
+	return b.String()
+}
+
+// RenderJSON formats diagnostics as a JSON array of objects with check,
+// file, line, col, and message fields.
+func RenderJSON(ds []Diagnostic, trimPrefix string) (string, error) {
+	type rec struct {
+		Check   string `json:"check"`
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Message string `json:"message"`
+	}
+	recs := make([]rec, 0, len(ds))
+	for _, d := range ds {
+		recs = append(recs, rec{
+			Check:   d.Check,
+			File:    strings.TrimPrefix(d.Pos.Filename, trimPrefix),
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Message: d.Message,
+		})
+	}
+	out, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden diagnostic file")
+
+const fixtureRoot = "testdata/src"
+
+// loadFixtures loads every package in the fixture tree with the full
+// registry's view of the world.
+func loadFixtures(t *testing.T) (*Loader, []*Package) {
+	t.Helper()
+	loader := NewLoader("snic", fixtureRoot)
+	paths, err := loader.Discover(fixtureRoot)
+	if err != nil {
+		t.Fatalf("discover fixtures: %v", err)
+	}
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatalf("load %s: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return loader, pkgs
+}
+
+// TestGoldenDiagnostics runs the full registry over the fixture tree and
+// compares the rendered findings against the committed golden file.
+// Regenerate with: go test ./internal/lint -update
+func TestGoldenDiagnostics(t *testing.T) {
+	loader, pkgs := loadFixtures(t)
+	diags := Run(loader.Fset, pkgs, Registry())
+
+	abs, err := filepath.Abs(fixtureRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RenderText(diags, abs+string(os.PathSeparator))
+	got = filepath.ToSlash(got)
+
+	goldenPath := filepath.Join("testdata", "golden.txt")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics diverge from golden\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestEachCheckFiresOnItsFixture pins the demonstration the lint gate
+// rests on: every registered check reports at least one finding in the
+// fixture package built to violate it, and nothing else fires there.
+func TestEachCheckFiresOnItsFixture(t *testing.T) {
+	fixtureFor := map[string]string{
+		"determinism":        "internal/determfix",
+		"map-order":          "internal/mapfix",
+		"factory-discipline": "internal/factoryfix",
+		"seed-discipline":    "internal/seedfix",
+		"stdlib-only":        "internal/importfix",
+	}
+	loader, pkgs := loadFixtures(t)
+	diags := Run(loader.Fset, pkgs, Registry())
+
+	for _, c := range Registry() {
+		dir, ok := fixtureFor[c.Name()]
+		if !ok {
+			t.Errorf("check %s has no fixture package; add one under %s", c.Name(), fixtureRoot)
+			continue
+		}
+		n := 0
+		for _, d := range diags {
+			in := strings.Contains(filepath.ToSlash(d.Pos.Filename), dir+"/")
+			if in && d.Check == c.Name() {
+				n++
+			}
+			if in && d.Check != c.Name() {
+				t.Errorf("%s: unexpected %s finding in %s fixture: %s", d.Pos, d.Check, c.Name(), d.Message)
+			}
+		}
+		if n == 0 {
+			t.Errorf("check %s produced no findings on its fixture %s", c.Name(), dir)
+		}
+	}
+}
+
+// TestWaiverScoping asserts //lint:allow suppresses exactly its named
+// check: valid waivers silence their site, while wrong-check,
+// reasonless, and unknown-check waivers leave the finding standing (and
+// the malformed ones are findings themselves).
+func TestWaiverScoping(t *testing.T) {
+	loader, pkgs := loadFixtures(t)
+	var waived *Package
+	for _, p := range pkgs {
+		if p.Path == "snic/internal/waivedfix" {
+			waived = p
+		}
+	}
+	if waived == nil {
+		t.Fatal("waivedfix fixture not loaded")
+	}
+	diags := Run(loader.Fset, []*Package{waived}, Registry())
+
+	byCheck := map[string][]int{}
+	for _, d := range diags {
+		byCheck[d.Check] = append(byCheck[d.Check], d.Pos.Line)
+	}
+	// Five time.Now sites; the two correctly waived ones are silent.
+	if got := len(byCheck["determinism"]); got != 3 {
+		t.Errorf("determinism findings = %d (%v), want 3: only the valid waivers suppress",
+			got, byCheck["determinism"])
+	}
+	// The reasonless and unknown-check waivers are findings of their own.
+	if got := len(byCheck["waiver"]); got != 2 {
+		t.Errorf("waiver findings = %d (%v), want 2", got, byCheck["waiver"])
+	}
+	// The valid waivers' lines must not appear among the findings.
+	src, err := os.ReadFile(filepath.Join(fixtureRoot, "internal/waivedfix/waivedfix.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "demonstrating a") { // the two valid waivers
+			for _, l := range byCheck["determinism"] {
+				if l == i+1 || l == i+2 {
+					t.Errorf("line %d: finding survived a valid waiver", l)
+				}
+			}
+		}
+	}
+}
+
+// TestSelect covers the -checks plumbing: named subsets run alone,
+// unknown IDs are usage errors, empty input means everything.
+func TestSelect(t *testing.T) {
+	cs, err := Select([]string{"determinism", "stdlib-only"})
+	if err != nil || len(cs) != 2 {
+		t.Fatalf("Select two = %v, %v", cs, err)
+	}
+	if _, err := Select([]string{"bogus"}); err == nil {
+		t.Fatal("Select(bogus) succeeded, want unknown-check error")
+	}
+	cs, err = Select([]string{""})
+	if err != nil || len(cs) != len(Registry()) {
+		t.Fatalf("Select empty = %d checks, %v; want full registry", len(cs), err)
+	}
+}
+
+// TestSelectedCheckIsolation asserts -checks runs only the named check:
+// the determfix fixture yields zero findings under a seed-discipline-only
+// run.
+func TestSelectedCheckIsolation(t *testing.T) {
+	loader, pkgs := loadFixtures(t)
+	only, err := Select([]string{"seed-discipline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(loader.Fset, pkgs, only) {
+		if d.Check != "seed-discipline" && d.Check != "waiver" {
+			t.Errorf("selected run leaked %s finding at %s", d.Check, d.Pos)
+		}
+	}
+}

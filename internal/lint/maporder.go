@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags range loops over maps whose bodies build ordered
+// output — appending map values to a slice, writing to an io.Writer or
+// strings.Builder, or printing. Go randomizes map iteration order, so
+// any such loop makes output depend on the iteration seed and breaks
+// byte-identical golden files.
+//
+// The one sanctioned map-range idiom stays legal: collecting only the
+// keys into a slice (to sort before a second, ordered pass) is not
+// flagged, because the append involves neither the map's values nor an
+// index into the map.
+type MapOrder struct{}
+
+func (MapOrder) Name() string { return "map-order" }
+
+func (MapOrder) Doc() string {
+	return "forbid building ordered output while ranging over a map"
+}
+
+func (c MapOrder) Run(p *Pass) []Diagnostic {
+	if p.Pkg.TypesInfo == nil {
+		return nil
+	}
+	info := p.Pkg.TypesInfo
+	var diags []Diagnostic
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if reason := orderedOutput(info, rng); reason != "" {
+				diags = append(diags, p.diag(c.Name(), rng,
+					"map iteration %s: map order is randomized; iterate over sorted keys instead", reason))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// orderedOutput reports how (if at all) the loop body turns map
+// iteration order into observable output order.
+func orderedOutput(info *types.Info, rng *ast.RangeStmt) string {
+	valueObj := rangeVarObj(info, rng.Value)
+	keyObj := rangeVarObj(info, rng.Key)
+	reason := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" && isBuiltin(info, fun) && orderDependentAppend(info, call, keyObj, valueObj) {
+				reason = "appends order-dependent elements"
+			}
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			switch {
+			case strings.HasPrefix(name, "Write"):
+				// io.Writer, strings.Builder, bytes.Buffer, bufio.Writer.
+				reason = "writes to a writer"
+			case strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint"):
+				reason = "prints"
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// rangeVarObj resolves a range variable expression to its object, so
+// references to it inside the body can be recognized.
+func rangeVarObj(info *types.Info, expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id] // "for k, v = range m" assigns to existing vars
+}
+
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	if obj, ok := info.Uses[id]; ok {
+		_, builtin := obj.(*types.Builtin)
+		return builtin
+	}
+	return true // unresolved (fixture with type errors): assume builtin
+}
+
+// orderDependentAppend reports whether any appended element depends on
+// the map's values — it mentions the range value variable, indexes a
+// map, or is a composite that embeds the key alongside other data. A
+// bare key-collection append (keys = append(keys, k)) is order-safe
+// because the caller sorts before use.
+func orderDependentAppend(info *types.Info, call *ast.CallExpr, keyObj, valueObj types.Object) bool {
+	for _, arg := range call.Args[1:] {
+		if id, ok := arg.(*ast.Ident); ok && keyObj != nil && info.Uses[id] == keyObj {
+			continue // appending the key alone: the sanctioned sort-later idiom
+		}
+		dependent := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if valueObj != nil && info.Uses[n] == valueObj {
+					dependent = true
+				}
+			case *ast.IndexExpr:
+				if tv, ok := info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						dependent = true
+					}
+				}
+			case *ast.CompositeLit:
+				dependent = true // a row built during map iteration is ordered output
+			}
+			return !dependent
+		})
+		if dependent {
+			return true
+		}
+	}
+	return false
+}

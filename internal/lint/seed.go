@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Seed enforces the engine's splittable-seeding discipline: outside
+// tests, sim.NewRand must not be fed a bare integer literal. A literal
+// seed creates a stream whose identity is a magic number, which
+// collides silently and ties results to call order. Streams must be
+// derived — sim.DeriveSeed(base, labels...) / sim.DeriveRand — so every
+// component's randomness is a pure function of the experiment seed plus
+// a stable label, byte-identical at any -workers count.
+type Seed struct{}
+
+func (Seed) Name() string { return "seed-discipline" }
+
+func (Seed) Doc() string {
+	return "forbid integer-literal seeds to sim.NewRand outside tests (use DeriveSeed/DeriveRand)"
+}
+
+func (c Seed) Run(p *Pass) []Diagnostic {
+	if p.Pkg.Path == "snic/internal/sim" {
+		return nil // DeriveRand itself calls NewRand; internal uses are unqualified anyway
+	}
+	var diags []Diagnostic
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		simName := importLocalName(f.AST, "snic/internal/sim")
+		if simName == "" {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "NewRand" {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !p.pkgRef(id, "snic/internal/sim", simName) {
+				return true
+			}
+			if isIntLiteral(call.Args[0]) {
+				diags = append(diags, p.diag(c.Name(), call,
+					"literal seed to sim.NewRand: derive streams with sim.DeriveSeed/DeriveRand(base, labels...)"))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isIntLiteral unwraps parens, signs, and single-argument conversions
+// (uint64(42)) down to an integer literal.
+func isIntLiteral(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.INT
+	case *ast.ParenExpr:
+		return isIntLiteral(e.X)
+	case *ast.UnaryExpr:
+		return (e.Op == token.SUB || e.Op == token.ADD || e.Op == token.XOR) && isIntLiteral(e.X)
+	case *ast.CallExpr:
+		return len(e.Args) == 1 && isIntLiteral(e.Args[0])
+	}
+	return false
+}

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"os"
+	"testing"
+)
+
+// TestModuleIsClean runs the full check registry against the real
+// module and asserts zero unwaived diagnostics. This is the invariant
+// gate itself, exercised by `go test ./...`, so the build stays honest
+// even where CI configuration drifts: a refactor that reintroduces
+// wall-clock reads, map-ordered output, factory bypasses, literal
+// seeds, or an external import fails the ordinary test run.
+func TestModuleIsClean(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader("snic", root)
+	pkgs, err := loader.LoadPatterns(nil) // ./...
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 30 {
+		t.Fatalf("loaded only %d packages; discovery is broken", len(pkgs))
+	}
+	diags := Run(loader.Fset, pkgs, Registry())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d unwaived finding(s); fix them or add //lint:allow <check> <reason> at the site", len(diags))
+	}
+}

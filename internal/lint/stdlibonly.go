@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"strings"
+)
+
+// StdlibOnly enforces the repo's dependency rule: the module imports
+// nothing but the Go standard library and itself, and never unsafe or
+// cgo. The rule is what keeps the artifact reproducible from a bare
+// toolchain — no module proxy, no vendoring, no native code — and it is
+// why this lint framework itself is built on go/parser and go/types
+// rather than golang.org/x/tools.
+type StdlibOnly struct{}
+
+func (StdlibOnly) Name() string { return "stdlib-only" }
+
+func (StdlibOnly) Doc() string {
+	return "reject imports outside the standard library and the snic module; forbid unsafe and cgo"
+}
+
+func (c StdlibOnly) Run(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Pkg.Files {
+		// Test files are held to the same rule: a test-only external
+		// dependency still breaks the bare-toolchain build.
+		for _, imp := range f.AST.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			switch {
+			case path == "unsafe":
+				diags = append(diags, p.diag(c.Name(), imp,
+					"import of unsafe is forbidden everywhere in this module"))
+			case path == "C":
+				diags = append(diags, p.diag(c.Name(), imp,
+					"cgo is forbidden: the simulator must build from a bare Go toolchain"))
+			case path == "snic" || strings.HasPrefix(path, "snic/"):
+				// module-internal
+			case !stdlibPath(path):
+				diags = append(diags, p.diag(c.Name(), imp,
+					"import %q is outside the standard library: this module is stdlib-only", path))
+			}
+		}
+	}
+	return diags
+}
+
+// stdlibPath reports whether path names a standard-library package: its
+// first element carries no dot, the property that distinguishes GOROOT
+// packages from any fetchable module path (which must start with a
+// dotted domain).
+func stdlibPath(path string) bool {
+	first := path
+	if i := strings.Index(path, "/"); i >= 0 {
+		first = path[:i]
+	}
+	return !strings.Contains(first, ".")
+}

@@ -1,0 +1,12 @@
+// Package baseline is a minimal stub of the real baseline-NIC package
+// for the factory-discipline fixtures.
+package baseline
+
+// Agilio stands in for one baseline model.
+type Agilio struct{ memBytes uint64 }
+
+// NewAgilio matches the reserved New* constructor shape.
+func NewAgilio(memBytes uint64) (*Agilio, error) { return &Agilio{memBytes: memBytes}, nil }
+
+// NewBlueField matches the reserved New* constructor shape.
+func NewBlueField(memBytes uint64) (*Agilio, error) { return &Agilio{memBytes: memBytes}, nil }

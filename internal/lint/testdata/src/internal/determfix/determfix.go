@@ -1,0 +1,19 @@
+// Package determfix deliberately violates the determinism check: a
+// simulation-path package reading the wall clock and math/rand.
+package determfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed trips all three forbidden forms.
+func Elapsed() time.Duration {
+	t0 := time.Now()
+	_ = rand.Int()
+	return time.Since(t0)
+}
+
+// Budget shows that plain time.Duration arithmetic stays legal: only
+// the wall-clock entry points are forbidden.
+func Budget(d time.Duration) time.Duration { return 2 * d }

@@ -1,0 +1,22 @@
+// Package factoryfix deliberately violates the factory-discipline
+// check: direct snic.New and baseline.New* calls outside
+// internal/device.
+package factoryfix
+
+import (
+	"snic/internal/baseline"
+	"snic/internal/snic"
+)
+
+// Build constructs devices behind the factory's back: two violations.
+func Build() error {
+	if _, err := snic.New(4); err != nil {
+		return err
+	}
+	_, err := baseline.NewAgilio(1 << 20)
+	return err
+}
+
+// Reference shows the check also catches taking the constructor as a
+// value, not just calling it.
+var Reference = baseline.NewBlueField

@@ -1,0 +1,12 @@
+// Package importfix deliberately violates the stdlib-only check: an
+// import outside the standard library plus the forbidden unsafe.
+package importfix
+
+import (
+	_ "unsafe"
+
+	_ "github.com/fake/dep"
+)
+
+// Placeholder keeps the package non-empty.
+const Placeholder = true

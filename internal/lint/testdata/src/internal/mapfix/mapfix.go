@@ -1,0 +1,60 @@
+// Package mapfix deliberately violates the map-order check in the three
+// recognized forms, and exercises the two idioms that must stay legal.
+package mapfix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+type row struct {
+	name string
+	v    int
+}
+
+// Rows appends value-bearing rows in map order: violation.
+func Rows(m map[string]int) []row {
+	var rows []row
+	for k, v := range m {
+		rows = append(rows, row{k, v})
+	}
+	return rows
+}
+
+// Render writes to a strings.Builder in map order: violation.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Dump prints in map order: violation.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// SortedKeys is the sanctioned idiom — collect only the keys, sort,
+// iterate the sorted slice — and must not be flagged.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum aggregates order-insensitively and must not be flagged.
+func Sum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,17 @@
+// Package seedfix deliberately violates the seed-discipline check:
+// integer-literal seeds fed to sim.NewRand outside tests.
+package seedfix
+
+import "snic/internal/sim"
+
+// Bad seeds a stream with a magic number: violation.
+func Bad() *sim.Rand { return sim.NewRand(42) }
+
+// BadConversion hides the literal behind a conversion: still a violation.
+func BadConversion() *sim.Rand { return sim.NewRand(uint64(7)) }
+
+// Threaded passes a caller-provided seed through: legal.
+func Threaded(seed uint64) *sim.Rand { return sim.NewRand(seed) }
+
+// Derived uses the sanctioned derivation entry point: legal.
+func Derived(base uint64) *sim.Rand { return sim.DeriveRand(base, "seedfix") }

@@ -1,0 +1,28 @@
+// Package sim is a minimal stub of the real simulation kernel, just
+// enough for the seed-discipline fixtures to type-check without
+// coupling the lint tests to the real package's API. The loader's
+// root-ordering resolves "snic/internal/sim" here first when the
+// fixture tree is the leading root.
+package sim
+
+// Rand mirrors the real deterministic PRNG's identity.
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// DeriveSeed hashes a base seed plus labels into a stable seed.
+func DeriveSeed(base uint64, labels ...string) uint64 {
+	h := base
+	for _, l := range labels {
+		for i := 0; i < len(l); i++ {
+			h = h*1099511628211 ^ uint64(l[i])
+		}
+	}
+	return h
+}
+
+// DeriveRand returns a generator seeded with DeriveSeed(base, labels...).
+func DeriveRand(base uint64, labels ...string) *Rand {
+	return NewRand(DeriveSeed(base, labels...))
+}

@@ -1,0 +1,10 @@
+// Package snic is a minimal stub of the real device package for the
+// factory-discipline fixtures.
+package snic
+
+// Device stands in for the real S-NIC model.
+type Device struct{ cores int }
+
+// New is the constructor the factory-discipline check reserves for
+// internal/device.
+func New(cores int) (*Device, error) { return &Device{cores: cores}, nil }

@@ -1,0 +1,32 @@
+// Package waivedfix exercises waiver semantics: a well-formed waiver
+// suppresses exactly its named check; wrong-check, reasonless, and
+// unknown-check waivers suppress nothing.
+package waivedfix
+
+import "time"
+
+// Allowed is suppressed: the waiver names the firing check with a reason.
+func Allowed() time.Time {
+	return time.Now() //lint:allow determinism fixture demonstrating a valid waiver
+}
+
+// AllowedAbove is suppressed by a standalone waiver on the line above.
+func AllowedAbove() time.Time {
+	//lint:allow determinism fixture demonstrating a standalone waiver
+	return time.Now()
+}
+
+// WrongCheck still fires: the waiver names a different check.
+func WrongCheck() time.Time {
+	return time.Now() //lint:allow map-order wrong check on purpose
+}
+
+// NoReason still fires, and the reasonless waiver is itself a finding.
+func NoReason() time.Time {
+	return time.Now() //lint:allow determinism
+}
+
+// UnknownCheck still fires, and the bogus check ID is itself a finding.
+func UnknownCheck() time.Time {
+	return time.Now() //lint:allow nonsense some reason
+}

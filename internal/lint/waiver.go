@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// waiverPrefix is the comment directive that suppresses a finding:
+//
+//	//lint:allow <check-id> <reason>
+//
+// Directive comments carry no space after "//", matching the Go
+// convention for machine-readable comments (//go:build, //go:generate).
+const waiverPrefix = "//lint:allow"
+
+// waiver is one parsed //lint:allow directive. It covers its own line
+// and the line immediately below, for exactly the check it names.
+type waiver struct {
+	file  string
+	line  int
+	check string
+}
+
+// parseWaivers extracts every //lint:allow directive from the package's
+// comments. Malformed directives — no check name, a check name outside
+// the known set, or a missing reason — are returned as diagnostics with
+// the "waiver" check ID, so a typo cannot silently disable enforcement.
+func parseWaivers(fset *token.FileSet, pkg *Package, known map[string]bool) ([]waiver, []Diagnostic) {
+	var ws []waiver
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, waiverPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, waiverPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowed — not our directive
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Diagnostic{
+						Check: "waiver", Pos: pos,
+						Message: "malformed waiver: want //lint:allow <check-id> <reason>",
+					})
+				case !known[fields[0]]:
+					bad = append(bad, Diagnostic{
+						Check: "waiver", Pos: pos,
+						Message: "waiver names unknown check " + quote(fields[0]),
+					})
+				case len(fields) == 1:
+					bad = append(bad, Diagnostic{
+						Check: "waiver", Pos: pos,
+						Message: "waiver for " + quote(fields[0]) + " has no reason; every waiver must say why",
+					})
+				default:
+					ws = append(ws, waiver{file: pos.Filename, line: pos.Line, check: fields[0]})
+				}
+			}
+		}
+	}
+	return ws, bad
+}
+
+func quote(s string) string { return `"` + s + `"` }
+
+// suppressed reports whether d is covered by a waiver: same file, same
+// check, on d's line or the line directly above.
+func suppressed(d Diagnostic, ws []waiver) bool {
+	if d.Check == "waiver" {
+		return false
+	}
+	for _, w := range ws {
+		if w.check == d.Check && w.file == d.Pos.Filename &&
+			(w.line == d.Pos.Line || w.line == d.Pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}

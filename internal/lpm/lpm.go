@@ -133,6 +133,7 @@ func (t *Table) rebuild() {
 		nh     uint16
 	}
 	rs := make([]route, 0, len(t.routes))
+	//lint:allow map-order routes are totally ordered by unique (length, prefix) right below
 	for k, nh := range t.routes {
 		rs = append(rs, route{uint32(k >> 8), int(k & 0xFF), nh})
 	}
