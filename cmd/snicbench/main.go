@@ -17,6 +17,13 @@
 // on stderr: job counts, wall time vs summed job time, and the slowest
 // configuration point.
 //
+// Observability (internal/obs) rides along on demand: -trace FILE
+// writes a Chrome-trace-event JSON file of cycle-stamped spans
+// (chrome://tracing, Perfetto), and -metrics prints the simulated-time
+// metric dump on stderr (diff two dumps with cmd/snicstat). Both are
+// deterministic — byte-identical for every -workers value — and
+// attaching them never changes experiment output.
+//
 // Exit status: 0 on success, 1 when an experiment fails, 2 for usage
 // errors (unknown experiment, bad -format, bad flags).
 package main
@@ -31,6 +38,7 @@ import (
 	"snic/internal/engine"
 	"snic/internal/exp"
 	"snic/internal/nf"
+	"snic/internal/obs"
 )
 
 // bench carries everything an experiment needs: the engine-backed
@@ -174,6 +182,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text | csv | json")
 	workers := flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "report engine metrics per sweep on stderr")
+	tracePath := flag.String("trace", "", "write a Chrome-trace-event JSON file of cycle-stamped spans")
+	metrics := flag.Bool("metrics", false, "print the simulated-time metric dump on stderr")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
 
@@ -207,6 +217,11 @@ func main() {
 				s.Experiment, s.Key, s.Duration, s.Worker)
 		}
 	}
+	var reg *obs.Registry
+	if *tracePath != "" || *metrics {
+		reg = obs.NewRegistry()
+		b.runner.Obs = reg
+	}
 
 	for _, name := range experimentNames() {
 		if *experiment != "all" && *experiment != name {
@@ -214,6 +229,21 @@ func main() {
 		}
 		if err := registry[name](b); err != nil {
 			fmt.Fprintf(os.Stderr, "snicbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	if *metrics {
+		fmt.Fprint(os.Stderr, reg.DumpMetrics())
+	}
+	if *tracePath != "" {
+		data, err := reg.ChromeTrace()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snicbench: trace export:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*tracePath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "snicbench:", err)
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,84 @@
+// Command snicstat diffs two snicbench metric dumps. Usage:
+//
+//	snicbench -experiment fig6 -metrics 2> before.txt
+//	...change something...
+//	snicbench -experiment fig6 -metrics 2> after.txt
+//	snicstat before.txt after.txt        # only series that changed
+//	snicstat -all before.txt after.txt   # every series
+//
+// Dumps are the deterministic "# snic-metrics v1" text format written
+// by internal/obs: because they are byte-identical across -workers
+// counts, any difference snicstat reports is a real behavioural change,
+// not scheduling noise.
+//
+// Exit status: 0 when the dumps are identical, 1 when they differ, 2
+// for usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snic/internal/obs"
+)
+
+func parseFile(path string) (map[string]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := obs.ParseDump(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func main() {
+	all := flag.Bool("all", false, "show unchanged series too")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: snicstat [-all] OLD.txt NEW.txt")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldDump, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snicstat:", err)
+		os.Exit(2)
+	}
+	newDump, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snicstat:", err)
+		os.Exit(2)
+	}
+
+	text, changed := obs.Diff(oldDump, newDump, *all)
+	if changed == 0 && !*all {
+		fmt.Printf("identical: %d series\n", len(oldDump))
+		return
+	}
+	fmt.Print(text)
+	if changed > 0 {
+		fmt.Printf("%d of %d series changed\n", changed, len(oldDump)+countAdded(oldDump, newDump))
+		os.Exit(1)
+	}
+}
+
+// countAdded counts series present only in the new dump, so the summary
+// denominator covers the union.
+func countAdded(oldDump, newDump map[string]int64) int {
+	n := 0
+	for k := range newDump {
+		if _, ok := oldDump[k]; !ok {
+			n++
+		}
+	}
+	return n
+}

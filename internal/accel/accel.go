@@ -14,8 +14,10 @@ package accel
 
 import (
 	"fmt"
+	"strconv"
 
 	"snic/internal/mem"
+	"snic/internal/obs"
 	"snic/internal/tlb"
 )
 
@@ -69,6 +71,10 @@ func (c *Cluster) Owner() mem.Owner { return c.owner }
 type Accelerator struct {
 	kind     Kind
 	clusters []*Cluster
+	// obs state; zero until Observe attaches a collector.
+	obsReg    *obs.Registry
+	obsDevice string
+	obsBound  *obs.Gauge
 }
 
 // New builds an accelerator with totalThreads grouped into clusters of
@@ -93,6 +99,38 @@ func New(kind Kind, totalThreads, threadsPerCluster int) (*Accelerator, error) {
 
 // Kind returns the accelerator type.
 func (a *Accelerator) Kind() Kind { return a.kind }
+
+// Observe attaches per-owner cluster allocation counters and a
+// bound-cluster gauge to reg under the given device label (component
+// "accel/<kind>"). A nil reg leaves the accelerator detached.
+func (a *Accelerator) Observe(reg *obs.Registry, device string) {
+	if reg == nil {
+		return
+	}
+	a.obsReg = reg
+	a.obsDevice = device
+	a.obsBound = reg.Gauge(obs.Label{Device: device, Owner: "-",
+		Component: "accel/" + a.kind.String(), Name: "bound_clusters"})
+}
+
+// obsCounter interns a per-owner counter (nil when detached; allocation
+// paths are cold, so on-demand interning is fine).
+func (a *Accelerator) obsCounter(owner mem.Owner, name string) *obs.Counter {
+	return a.obsReg.Counter(obs.Label{Device: a.obsDevice,
+		Owner:     "nf" + strconv.Itoa(int(owner)),
+		Component: "accel/" + a.kind.String(), Name: name})
+}
+
+// boundClusters counts clusters currently bound to any owner.
+func (a *Accelerator) boundClusters() int64 {
+	var n int64
+	for _, c := range a.clusters {
+		if c.owner != mem.Free {
+			n++
+		}
+	}
+	return n
+}
 
 // NumClusters returns how many clusters exist.
 func (a *Accelerator) NumClusters() int { return len(a.clusters) }
@@ -150,6 +188,10 @@ func (a *Accelerator) Alloc(owner mem.Owner, count int, entries []tlb.Entry) ([]
 		c.TLB = bank
 		c.owner = owner
 	}
+	if a.obsReg != nil {
+		a.obsCounter(owner, "cluster_allocs").Add(uint64(count))
+		a.obsBound.Set(a.boundClusters())
+	}
 	return picked, nil
 }
 
@@ -163,6 +205,10 @@ func (a *Accelerator) Release(owner mem.Owner) int {
 			c.TLB = tlb.NewBank(TLBEntriesFor(a.kind))
 			n++
 		}
+	}
+	if a.obsReg != nil && n > 0 {
+		a.obsCounter(owner, "cluster_releases").Add(uint64(n))
+		a.obsBound.Set(a.boundClusters())
 	}
 	return n
 }

@@ -20,7 +20,12 @@
 // transaction may begin; it completes at start+dur.
 package bus
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+
+	"snic/internal/obs"
+)
 
 // Arbiter grants bus access.
 type Arbiter interface {
@@ -45,11 +50,44 @@ type Stats struct {
 type Tracker struct {
 	Arbiter
 	stats []Stats
+	// obs handles, indexed by domain; nil until Observe attaches a
+	// collector. dead is populated only when the wrapped arbiter is
+	// *Temporal (dead time is that discipline's defining cost).
+	obsGrants, obsBusy, obsStall, obsDead []*obs.Counter
 }
 
 // NewTracker wraps arb, tracking domains many domains.
 func NewTracker(arb Arbiter, domains int) *Tracker {
 	return &Tracker{Arbiter: arb, stats: make([]Stats, domains)}
+}
+
+// Observe attaches per-domain grant/busy/stall counters to reg under
+// the given device label (component "bus/<discipline>"). When the
+// wrapped arbiter is *Temporal, a dead_time_cycles counter additionally
+// charges each stall for the share spent inside dead-time tails. A nil
+// reg leaves the tracker detached.
+func (t *Tracker) Observe(reg *obs.Registry, device string) {
+	if reg == nil {
+		return
+	}
+	component := "bus/" + t.Arbiter.Name()
+	n := len(t.stats)
+	t.obsGrants = make([]*obs.Counter, n)
+	t.obsBusy = make([]*obs.Counter, n)
+	t.obsStall = make([]*obs.Counter, n)
+	_, temporal := t.Arbiter.(*Temporal)
+	if temporal {
+		t.obsDead = make([]*obs.Counter, n)
+	}
+	for d := 0; d < n; d++ {
+		owner := "dom" + strconv.Itoa(d)
+		t.obsGrants[d] = reg.Counter(obs.Label{Device: device, Owner: owner, Component: component, Name: "grants"})
+		t.obsBusy[d] = reg.Counter(obs.Label{Device: device, Owner: owner, Component: component, Name: "busy_cycles"})
+		t.obsStall[d] = reg.Counter(obs.Label{Device: device, Owner: owner, Component: component, Name: "stall_cycles"})
+		if temporal {
+			t.obsDead[d] = reg.Counter(obs.Label{Device: device, Owner: owner, Component: component, Name: "dead_time_cycles"})
+		}
+	}
 }
 
 // Request forwards to the wrapped arbiter and records wait/busy cycles.
@@ -59,6 +97,14 @@ func (t *Tracker) Request(domain int, now, dur uint64) uint64 {
 	s.Transactions++
 	s.BusyCycles += dur
 	s.WaitCycles += start - now
+	if t.obsGrants != nil {
+		t.obsGrants[domain].Inc()
+		t.obsBusy[domain].Add(dur)
+		t.obsStall[domain].Add(start - now)
+		if t.obsDead != nil {
+			t.obsDead[domain].Add(t.Arbiter.(*Temporal).DeadOverlap(now, start))
+		}
+	}
 	return start
 }
 
@@ -243,6 +289,29 @@ func (tp *Temporal) Reset() {
 
 // Name implements Arbiter.
 func (tp *Temporal) Name() string { return "temporal" }
+
+// DeadOverlap returns how many cycles of the half-open interval
+// [from, to) fall inside dead-time tails — the part of a stall that is
+// the discipline's enforced idle rather than queueing behind work.
+func (tp *Temporal) DeadOverlap(from, to uint64) uint64 {
+	var total uint64
+	for e := from / tp.epoch; ; e++ {
+		tailStart := e*tp.epoch + tp.epoch - tp.deadTime
+		if tailStart >= to {
+			return total
+		}
+		lo, hi := tailStart, (e+1)*tp.epoch
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+}
 
 // Epoch returns the epoch length in cycles.
 func (tp *Temporal) Epoch() uint64 { return tp.epoch }

@@ -17,8 +17,10 @@ package cache
 
 import (
 	"fmt"
+	"strconv"
 
 	"snic/internal/mem"
+	"snic/internal/obs"
 )
 
 // Policy selects the sharing discipline.
@@ -79,6 +81,9 @@ type Cache struct {
 	// wayAlloc, when non-nil, overrides the equal static split with
 	// explicit per-domain way ranges (installed by the SecDCP Resizer).
 	wayAlloc [][2]int
+	// obs handles, indexed by domain; nil until Observe attaches a
+	// collector, so the unobserved hot path pays one nil check.
+	obsHits, obsMisses, obsEvictions []*obs.Counter
 }
 
 // Config describes a cache level.
@@ -133,6 +138,25 @@ func (c *Cache) LineSize() uint64 { return c.lineSize }
 // Stats returns the accumulated statistics for a domain.
 func (c *Cache) Stats(domain int) Stats { return c.stats[domain] }
 
+// Observe attaches per-domain hit/miss/eviction counters to reg under
+// the given device label, one owner label per domain. A nil reg leaves
+// the cache detached (instrumentation stays free).
+func (c *Cache) Observe(reg *obs.Registry, device string) {
+	if reg == nil {
+		return
+	}
+	component := "cache/" + c.name
+	c.obsHits = make([]*obs.Counter, c.domains)
+	c.obsMisses = make([]*obs.Counter, c.domains)
+	c.obsEvictions = make([]*obs.Counter, c.domains)
+	for d := 0; d < c.domains; d++ {
+		owner := "dom" + strconv.Itoa(d)
+		c.obsHits[d] = reg.Counter(obs.Label{Device: device, Owner: owner, Component: component, Name: "hits"})
+		c.obsMisses[d] = reg.Counter(obs.Label{Device: device, Owner: owner, Component: component, Name: "misses"})
+		c.obsEvictions[d] = reg.Counter(obs.Label{Device: device, Owner: owner, Component: component, Name: "evictions"})
+	}
+}
+
 // wayRange returns the half-open way interval domain may occupy.
 func (c *Cache) wayRange(domain int) (int, int) {
 	if c.policy == Shared {
@@ -171,6 +195,9 @@ func (c *Cache) Access(pa mem.Addr, domain int, write bool) bool {
 			l.used = c.tick
 			l.dirty = l.dirty || write
 			c.stats[domain].Hits++
+			if c.obsHits != nil {
+				c.obsHits[domain].Inc()
+			}
 			return true
 		}
 	}
@@ -184,6 +211,9 @@ func (c *Cache) Access(pa mem.Addr, domain int, write bool) bool {
 				l.used = c.tick
 				l.dirty = l.dirty || write
 				c.stats[domain].Hits++
+				if c.obsHits != nil {
+					c.obsHits[domain].Inc()
+				}
 				return true
 			}
 		}
@@ -199,6 +229,14 @@ func (c *Cache) Access(pa mem.Addr, domain int, write bool) bool {
 		}
 		if l.used < c.lines[victim].used {
 			victim = base + w
+		}
+	}
+	if c.obsMisses != nil {
+		c.obsMisses[domain].Inc()
+		// Evictions are charged to the domain losing the line, which is
+		// where cross-domain interference shows up under Shared.
+		if v := c.lines[victim]; v.valid {
+			c.obsEvictions[v.domain].Inc()
 		}
 	}
 	c.lines[victim] = line{tag: tag, domain: domain, valid: true, dirty: write, used: c.tick}

@@ -15,7 +15,10 @@
 // The engine also records per-job timing so `snicbench -v` can report
 // progress and the slowest configuration points of a sweep. Wall-clock
 // time appears only in these observability metrics, never in results —
-// the simulation kernel itself stays clock-free.
+// the simulation kernel itself stays clock-free. All timing flows
+// through an obs.Wall collector: defaultWall below is the module's
+// single sanctioned wall-clock site, and tests inject fakes via
+// Config.Wall.
 package engine
 
 import (
@@ -25,8 +28,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"snic/internal/obs"
 	"snic/internal/sim"
 )
+
+// defaultWall is the simulation path's only wall-clock source. Every
+// JobStat.Duration and Metrics.Wall reading comes from here (or a
+// test-injected Config.Wall); none of it ever reaches experiment
+// results, metric dumps, or trace files.
+//
+//lint:allow determinism the single sanctioned wall-clock site; readings feed only -v observability, never results
+var defaultWall = obs.NewWall(time.Now)
 
 // Job is one independent unit of an experiment sweep. Run must be
 // self-contained: it may share read-only calibration data with other
@@ -50,6 +62,9 @@ type Config struct {
 	// serialized by the engine but arrive in completion order, not job
 	// order.
 	OnJob func(JobStat)
+	// Wall, if set, replaces the default wall-clock collector that times
+	// jobs and the sweep (tests inject deterministic fakes).
+	Wall *obs.Wall
 }
 
 // JobStat records one job's execution for progress and metrics.
@@ -136,11 +151,16 @@ func Run[T any](cfg Config, jobs []Job[T]) ([]T, Metrics, error) {
 	}
 	results := make([]T, len(jobs))
 
+	wall := cfg.Wall
+	if wall == nil {
+		wall = defaultWall
+	}
+
 	var started, finished atomic.Int64
 	var cbMu sync.Mutex
 	var wg sync.WaitGroup
 	idx := make(chan int)
-	t0 := time.Now() //lint:allow determinism wall time feeds only Metrics.Wall, never results
+	t0 := wall.Start()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
@@ -149,13 +169,12 @@ func Run[T any](cfg Config, jobs []Job[T]) ([]T, Metrics, error) {
 				job := jobs[i]
 				started.Add(1)
 				rng := sim.DeriveRand(cfg.Seed, job.Experiment, job.Key)
-				jt := time.Now() //lint:allow determinism per-job timing is -v observability only
+				jt := wall.Start()
 				v, err := runOne(job, rng)
 				stat := JobStat{
 					Experiment: job.Experiment, Key: job.Key,
 					Index: i, Worker: worker,
-					//lint:allow determinism JobStat.Duration is -v observability only
-					Duration: time.Since(jt), Err: err,
+					Duration: wall.Since(jt), Err: err,
 				}
 				results[i] = v
 				m.Jobs[i] = stat
@@ -174,7 +193,7 @@ func Run[T any](cfg Config, jobs []Job[T]) ([]T, Metrics, error) {
 	close(idx)
 	wg.Wait()
 
-	m.Wall = time.Since(t0) //lint:allow determinism wall time feeds only Metrics.Wall, never results
+	m.Wall = wall.Since(t0)
 	m.Started = int(started.Load())
 	m.Finished = int(finished.Load())
 	var firstErr error

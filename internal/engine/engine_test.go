@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
+	"snic/internal/obs"
 	"snic/internal/sim"
 )
 
@@ -148,5 +150,32 @@ func TestWorkerClamping(t *testing.T) {
 	}
 	if _, ok := m2.Slowest(); ok {
 		t.Fatal("slowest of empty run")
+	}
+}
+
+// TestInjectedWall: Config.Wall replaces the sanctioned wall-clock
+// collector, making engine timing fully deterministic for tests. A fake
+// stepping 1ms per reading makes every per-job duration exactly 1ms
+// (two readings per job) and the sweep wall (1+2n)ms.
+func TestInjectedWall(t *testing.T) {
+	tick := time.Unix(0, 0)
+	wall := obs.NewWall(func() time.Time {
+		tick = tick.Add(time.Millisecond)
+		return tick
+	})
+	_, m, err := Run(Config{Workers: 1, Wall: wall}, drawJobs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range m.Jobs {
+		if s.Duration != time.Millisecond {
+			t.Errorf("job %d duration = %v, want 1ms from the fake wall", i, s.Duration)
+		}
+	}
+	if m.Wall != 7*time.Millisecond {
+		t.Errorf("sweep wall = %v, want 7ms (1 start + 2 readings per job)", m.Wall)
+	}
+	if m.TotalJobTime() != 3*time.Millisecond {
+		t.Errorf("jobs total = %v, want 3ms", m.TotalJobTime())
 	}
 }

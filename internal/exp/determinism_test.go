@@ -123,7 +123,7 @@ func TestFigure6JobsAreIndependent(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, want := range sweep {
-		got, err := launchProfile(i, want.NF)
+		got, err := launchProfile(nil, i, want.NF)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -9,6 +9,7 @@ import (
 	"snic/internal/engine"
 	"snic/internal/mem"
 	"snic/internal/nf"
+	"snic/internal/obs"
 	"snic/internal/sim"
 	"snic/internal/trace"
 )
@@ -62,8 +63,10 @@ type Fig5Row struct {
 // colocation simulates one group of NFs co-located on one NIC and
 // returns each NF's IPC under (baseline shared hardware) and (S-NIC
 // partitioned hardware) with the same cache size and co-tenancy —
-// exactly the §5.3 comparison.
-func colocation(cfg Fig5Config, names []string, l2Size uint64) (base, snicIPC []float64, err error) {
+// exactly the §5.3 comparison. With a collector attached, the shared L2
+// and the bus tracker report per-domain counters under
+// "<scope>/<policy>" so the two configurations stay distinguishable.
+func colocation(cfg Fig5Config, reg *obs.Registry, scope string, names []string, l2Size uint64) (base, snicIPC []float64, err error) {
 	run := func(policy cache.Policy, arb func(int) bus.Arbiter) ([]float64, error) {
 		n := len(names)
 		l2cfg := cache.Config{
@@ -78,6 +81,11 @@ func colocation(cfg Fig5Config, names []string, l2Size uint64) (base, snicIPC []
 			return nil, err
 		}
 		tr := bus.NewTracker(arb(n), n)
+		if reg != nil {
+			device := scope + "/" + policy.String()
+			l2.Observe(reg, device)
+			tr.Observe(reg, device)
+		}
 		lat := cpu.DefaultLatencies()
 		rng := sim.NewRand(cfg.Seed)
 		pool := trace.NewICTF(rng.Fork(), cfg.PoolFlows)
@@ -179,11 +187,12 @@ func (r *Runner) Figure5a(cfg Fig5Config, l2Sizes []uint64) ([]Fig5Row, error) {
 	var jobs []engine.Job[Fig5Row]
 	for _, size := range l2Sizes {
 		for _, target := range nf.Names {
+			key := sizeLabel(size) + "/" + target
 			jobs = append(jobs, engine.Job[Fig5Row]{
 				Experiment: "fig5a",
-				Key:        sizeLabel(size) + "/" + target,
+				Key:        key,
 				Run: func(*sim.Rand) (Fig5Row, error) {
-					return cachePoint(cfg, target, 2, 0, size)
+					return cachePoint(cfg, r.obsReg(), "fig5a/"+key, target, 2, 0, size)
 				},
 			})
 		}
@@ -206,11 +215,12 @@ func (r *Runner) Figure5b(cfg Fig5Config, counts []int) ([]Fig5Row, error) {
 	var jobs []engine.Job[Fig5Row]
 	for _, n := range counts {
 		for _, target := range nf.Names {
+			key := fmt.Sprintf("%dNFs/%s", n, target)
 			jobs = append(jobs, engine.Job[Fig5Row]{
 				Experiment: "fig5b",
-				Key:        fmt.Sprintf("%dNFs/%s", n, target),
+				Key:        key,
 				Run: func(*sim.Rand) (Fig5Row, error) {
-					row, err := cachePoint(cfg, target, n, cfg.Colocations, 4<<20)
+					row, err := cachePoint(cfg, r.obsReg(), "fig5b/"+key, target, n, cfg.Colocations, 4<<20)
 					if err != nil {
 						return Fig5Row{}, err
 					}
@@ -224,11 +234,12 @@ func (r *Runner) Figure5b(cfg Fig5Config, counts []int) ([]Fig5Row, error) {
 }
 
 // cachePoint measures one Figure 5 point: the target NF's degradation
-// distribution over its sampled colocation groups at one L2 size.
-func cachePoint(cfg Fig5Config, target string, groupSize, count int, l2Size uint64) (Fig5Row, error) {
+// distribution over its sampled colocation groups at one L2 size. scope
+// prefixes the metric device labels (one sub-scope per sampled group).
+func cachePoint(cfg Fig5Config, reg *obs.Registry, scope, target string, groupSize, count int, l2Size uint64) (Fig5Row, error) {
 	var degs []float64
-	for _, group := range partnersFor(cfg, target, groupSize, count) {
-		base, snicIPC, err := colocation(cfg, group, l2Size)
+	for gi, group := range partnersFor(cfg, target, groupSize, count) {
+		base, snicIPC, err := colocation(cfg, reg, fmt.Sprintf("%s/g%d", scope, gi), group, l2Size)
 		if err != nil {
 			return Fig5Row{}, err
 		}

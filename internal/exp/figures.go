@@ -8,6 +8,7 @@ import (
 	"snic/internal/engine"
 	"snic/internal/mem"
 	"snic/internal/nf"
+	"snic/internal/obs"
 	"snic/internal/pkt"
 	"snic/internal/sim"
 	"snic/internal/snic"
@@ -42,7 +43,7 @@ func (r *Runner) Figure6() ([]Fig6Row, error) {
 			Experiment: "fig6",
 			Key:        name,
 			Run: func(*sim.Rand) (Fig6Row, error) {
-				return launchProfile(i, name)
+				return launchProfile(r.obsReg(), i, name)
 			},
 		}
 	}
@@ -55,15 +56,20 @@ func (r *Runner) Figure6() ([]Fig6Row, error) {
 // registry like every other harness; the breakdown needs the underlying
 // *snic.Device for launch reports. Every reported latency is
 // model-derived, so rows are identical no matter which worker runs the
-// job.
-func launchProfile(i int, name string) (Fig6Row, error) {
+// job. With a collector attached, the device emits the same breakdown
+// as cycle-stamped spans on a per-job track/serial ("fig6/<NF>"), which
+// is what keeps dumps worker-count invariant.
+func launchProfile(reg *obs.Registry, i int, name string) (Fig6Row, error) {
+	scope := "fig6/" + name
 	n, err := device.New(device.Spec{
 		Model: "snic", Cores: 12, MemBytes: 2 << 30, FrameSize: 2 << 20,
+		Serial: scope,
 	})
 	if err != nil {
 		return Fig6Row{}, err
 	}
 	dev := n.(*device.SNIC).Underlying()
+	dev.Observe(reg, scope)
 	prof, err := nf.PaperProfile(name)
 	if err != nil {
 		return Fig6Row{}, err

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"snic/internal/engine"
+	"snic/internal/obs"
 )
 
 // Runner executes experiment sweeps on the concurrent engine. The zero
@@ -18,11 +19,25 @@ type Runner struct {
 	Observe func(engine.Metrics)
 	// OnJob, if set, receives per-job completion events as they happen.
 	OnJob func(engine.JobStat)
+	// Obs, if set, collects simulated-time metrics and traces from the
+	// instrumented sweeps (snicbench -trace/-metrics attaches one). Each
+	// job scopes its labels and trace track by its stable job key, so the
+	// collected output is worker-count invariant like the results.
+	Obs *obs.Registry
 }
 
 // defaultRunner backs the package-level experiment functions, which keep
 // their historical signatures for tests, benchmarks, and examples.
 var defaultRunner = &Runner{}
+
+// obsReg returns the runner's collector; nil (detached) for the zero
+// value, a nil runner, and the package-level defaults.
+func (r *Runner) obsReg() *obs.Registry {
+	if r == nil {
+		return nil
+	}
+	return r.Obs
+}
 
 func (r *Runner) config(seed uint64) engine.Config {
 	cfg := engine.Config{Seed: seed}

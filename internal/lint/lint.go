@@ -109,6 +109,7 @@ func Registry() []Check {
 		Determinism{},
 		MapOrder{},
 		Factory{},
+		ObsDiscipline{},
 		Seed{},
 		StdlibOnly{},
 	}

@@ -69,6 +69,7 @@ func TestEachCheckFiresOnItsFixture(t *testing.T) {
 		"determinism":        "internal/determfix",
 		"map-order":          "internal/mapfix",
 		"factory-discipline": "internal/factoryfix",
+		"obs-discipline":     "internal/obsfix",
 		"seed-discipline":    "internal/seedfix",
 		"stdlib-only":        "internal/importfix",
 	}

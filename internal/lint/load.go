@@ -244,9 +244,10 @@ func (l *Loader) typeCheck(pkg *Package) {
 		return
 	}
 	info := &types.Info{
-		Types: make(map[ast.Expr]types.TypeAndValue),
-		Uses:  make(map[*ast.Ident]types.Object),
-		Defs:  make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	cfg := types.Config{
 		Importer: importerFunc(func(path string) (*types.Package, error) { return l.doImport(path) }),

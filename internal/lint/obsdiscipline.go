@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// obsPath is the import path of the observability package the check
+// polices.
+const obsPath = "snic/internal/obs"
+
+// obsReaderFuncs are the package-level obs functions that read collected
+// data back out. Conversion helpers (MSToCycles) and constructors
+// (NewRegistry, NewWall) are not readers: they carry no collected state.
+var obsReaderFuncs = map[string]bool{
+	"ParseDump": true,
+	"Diff":      true,
+}
+
+// obsReaderMethods are the methods on obs types that read collected data
+// back out. Writers (Add, Inc, Set, Observe, Span, Event, Tick) and the
+// quarantined wall-clock pair (Wall.Start, Wall.Since) are deliberately
+// absent: simulation-path code may feed the collector and may time its
+// own -v progress output, but must never branch on what was collected.
+var obsReaderMethods = map[string]bool{
+	"Value":       true, // Counter, Gauge
+	"Count":       true, // Histogram
+	"Sum":         true, // Histogram
+	"Buckets":     true, // Histogram
+	"Records":     true, // Tracer
+	"DumpMetrics": true, // Registry
+	"ChromeTrace": true, // Registry
+	"TraceText":   true, // Registry
+}
+
+// ObsDiscipline enforces the observability layer's write-only contract:
+// simulation-path packages may create obs handles and write to them, but
+// only exporters outside the simulated path (cmd/snicbench, cmd/snicstat,
+// tests) may read collected values back. A simulation that branches on
+// its own metrics stops being a pure function of its seed — the metric
+// becomes an input — so every reader call inside snic/internal/ is a
+// finding. The obs package itself is held to a stricter bar: it must
+// pass every check with zero //lint:allow waivers, so any waiver comment
+// in its non-test files is also a finding.
+type ObsDiscipline struct{}
+
+func (ObsDiscipline) Name() string { return "obs-discipline" }
+
+func (ObsDiscipline) Doc() string {
+	return "forbid reading obs metrics/traces from simulation-path packages; keep internal/obs waiver-free"
+}
+
+func (c ObsDiscipline) Run(p *Pass) []Diagnostic {
+	if !simulationPath(p.Pkg.Path) {
+		return nil
+	}
+	if p.Pkg.Path == obsPath {
+		return c.checkObsItself(p)
+	}
+	var diags []Diagnostic
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue // tests read collectors to assert on them; that is their job
+		}
+		obsName := importLocalName(f.AST, obsPath)
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Package-level reader: obs.ParseDump, obs.Diff.
+			if id, ok := sel.X.(*ast.Ident); ok && obsReaderFuncs[sel.Sel.Name] {
+				if p.pkgRef(id, obsPath, obsName) {
+					diags = append(diags, p.diag(c.Name(), sel,
+						"obs.%s reads collected metrics in the simulation path: obs is write-only here; read dumps from cmd/ or tests",
+						sel.Sel.Name))
+					return true
+				}
+			}
+			// Method reader on an obs type: counter.Value(), reg.DumpMetrics(), ...
+			if p.Pkg.TypesInfo == nil || !obsReaderMethods[sel.Sel.Name] {
+				return true
+			}
+			if s, ok := p.Pkg.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+				if fn := s.Obj(); fn.Pkg() != nil && fn.Pkg().Path() == obsPath {
+					diags = append(diags, p.diag(c.Name(), sel,
+						"obs reader %s.%s in the simulation path: simulation writes metrics, never reads them back",
+						recvTypeName(fn), sel.Sel.Name))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkObsItself flags every //lint:allow comment in obs's non-test
+// files: the collector everything trusts must pass the full registry on
+// its own merits. (The module's single sanctioned wall-clock waiver
+// lives in internal/engine, on the variable that injects obs.Wall.)
+func (c ObsDiscipline) checkObsItself(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, cg := range f.AST.Comments {
+			for _, cm := range cg.List {
+				if strings.HasPrefix(cm.Text, "//lint:allow") {
+					diags = append(diags, p.diag(c.Name(), cm,
+						"waiver inside internal/obs: the observability package must pass every check with zero waivers"))
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// recvTypeName renders the receiver type of a method for messages, e.g.
+// "Counter" for func (c *Counter) Value().
+func recvTypeName(fn types.Object) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "obs"
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return "obs"
+}

@@ -1,0 +1,51 @@
+// Package obs is a miniature stub of the real snic/internal/obs, giving
+// the fixture tree the types the obs-discipline check resolves reader
+// methods against. Its own body also demonstrates the check's second
+// rule: any //lint:allow comment inside obs is a finding, because the
+// collector the whole module trusts must pass every check unwaived.
+package obs
+
+// Label keys one metric series.
+type Label struct{ Device, Owner, Component, Name string }
+
+// Counter is a write-mostly cumulative metric.
+type Counter struct{ v int64 }
+
+// Add and Inc write — legal from any package.
+func (c *Counter) Add(n uint64) { c.v += int64(n) }
+
+// Inc bumps the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the count back — forbidden in the simulation path.
+func (c *Counter) Value() int64 { return c.v }
+
+// Registry interns metric handles by label.
+type Registry struct{ counters map[Label]*Counter }
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{counters: map[Label]*Counter{}} }
+
+// Counter interns a handle — a write-side operation, legal anywhere.
+func (r *Registry) Counter(l Label) *Counter {
+	c, ok := r.counters[l]
+	if !ok {
+		c = &Counter{}
+		r.counters[l] = c
+	}
+	return c
+}
+
+// DumpMetrics renders every series — a reader.
+func (r *Registry) DumpMetrics() string { return "" }
+
+// ParseDump parses a rendered dump — a reader.
+func ParseDump(data string) map[string]int64 { return map[string]int64{} }
+
+// Diff compares two parsed dumps — a reader.
+func Diff(old, new map[string]int64, all bool) (string, int) { return "", 0 }
+
+// Even a well-formed waiver is a finding inside obs:
+//
+//lint:allow determinism fixture demonstrating the zero-waiver rule
+var _ = 0

@@ -1,0 +1,27 @@
+// Package obsfix deliberately violates the obs-discipline check: a
+// simulation-path package reading back the metrics it collects. Writing
+// (Add, Inc, interning handles) is legal everywhere; reading makes the
+// metric a simulation input and breaks seed-purity.
+package obsfix
+
+import "snic/internal/obs"
+
+// Hot writes a metric — legal, and must not fire.
+func Hot(c *obs.Counter) { c.Inc() }
+
+// Intern creates a handle — also legal.
+func Intern(r *obs.Registry) *obs.Counter {
+	return r.Counter(obs.Label{Device: "d", Name: "n"})
+}
+
+// Throttle branches on a counter's value: the forbidden method reader.
+func Throttle(c *obs.Counter) bool { return c.Value() > 1000 }
+
+// Snapshot reads the whole registry back inside the simulated path.
+func Snapshot(r *obs.Registry) string { return r.DumpMetrics() }
+
+// Compare round-trips dumps through the package-level readers.
+func Compare(a, b string) int {
+	_, n := obs.Diff(obs.ParseDump(a), obs.ParseDump(b), false)
+	return n
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// dumpHeader versions the metric dump format; snicstat refuses files it
+// does not recognise rather than mis-diffing them.
+const dumpHeader = "# snic-metrics v1"
+
+// sample is one rendered dump line: a kind tag, the series label, and a
+// single integer value. Histograms expand to several samples (count,
+// sum, and one per populated bucket) so every line stays independently
+// diffable.
+type sample struct {
+	kind  string
+	label Label
+	value int64
+}
+
+func (s sample) key() string {
+	return s.kind + " " + s.label.Device + " " + s.label.Owner + " " +
+		s.label.Component + " " + s.label.Name
+}
+
+// snapshot collects every registered series under the registry lock and
+// returns the dump lines fully sorted. Map iteration only ever gathers
+// keys; ordering comes from the sort.
+func (r *Registry) snapshot() []sample {
+	r.mu.Lock()
+	counters := r.sortedCounterLabels()
+	gauges := r.sortedGaugeLabels()
+	hists := r.sortedHistLabels()
+	var out []sample
+	for _, l := range counters {
+		out = append(out, sample{"counter", l, int64(r.counters[l].Value())})
+	}
+	for _, l := range gauges {
+		out = append(out, sample{"gauge", l, r.gauges[l].Value()})
+	}
+	for _, l := range hists {
+		h := r.hists[l]
+		out = append(out, sample{"hist_count", l, int64(h.Count())})
+		out = append(out, sample{"hist_sum", l, int64(h.Sum())})
+		b := h.Buckets()
+		for bit, n := range b {
+			if n == 0 {
+				continue
+			}
+			bl := l
+			bl.Name = fmt.Sprintf("%s/bit%02d", l.Name, bit)
+			out = append(out, sample{"hist_bucket", bl, int64(n)})
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// DumpMetrics renders every registered series as sorted
+// "<kind> <device> <owner> <component> <name> <value>" lines under a
+// versioned header. The rendering is byte-identical for identical
+// aggregate values regardless of worker count or registration order
+// (reader API: tools and tests only). A nil registry dumps the bare
+// header.
+func (r *Registry) DumpMetrics() string {
+	var b strings.Builder
+	b.WriteString(dumpHeader)
+	b.WriteByte('\n')
+	if r == nil {
+		return b.String()
+	}
+	for _, s := range r.snapshot() {
+		fmt.Fprintf(&b, "%s %d\n", s.key(), s.value)
+	}
+	return b.String()
+}
+
+// ParseDump reads a DumpMetrics rendering back into a map from series
+// key ("kind device owner component name") to value. Comment lines
+// beyond the required version header are ignored.
+func ParseDump(rd io.Reader) (map[string]int64, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("empty input: want %q header", dumpHeader)
+	}
+	if first := strings.TrimSpace(sc.Text()); first != dumpHeader {
+		return nil, fmt.Errorf("bad header %q: want %q", first, dumpHeader)
+	}
+	out := make(map[string]int64)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 6 {
+			return nil, fmt.Errorf("line %d: want 6 fields, got %d", line, len(fields))
+		}
+		v, err := strconv.ParseInt(fields[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", line, fields[5], err)
+		}
+		key := strings.Join(fields[:5], " ")
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %q", line, key)
+		}
+		out[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Diff renders the change from an old dump to a new one (both as
+// ParseDump maps) and reports how many series differ. Series only in
+// one dump show "-" on the missing side. With all set, unchanged series
+// render too; otherwise only differences appear.
+func Diff(old, new map[string]int64, all bool) (string, int) {
+	var keys []string
+	for k := range old {
+		keys = append(keys, k)
+	}
+	for k := range new {
+		if _, ok := old[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "series\told\tnew\tdelta\t\n")
+	changed := 0
+	for _, k := range keys {
+		ov, inOld := old[k]
+		nv, inNew := new[k]
+		same := inOld && inNew && ov == nv
+		if !same {
+			changed++
+		}
+		if same && !all {
+			continue
+		}
+		oldCol, newCol, deltaCol := "-", "-", "-"
+		if inOld {
+			oldCol = strconv.FormatInt(ov, 10)
+		}
+		if inNew {
+			newCol = strconv.FormatInt(nv, 10)
+		}
+		if inOld && inNew {
+			deltaCol = fmt.Sprintf("%+d", nv-ov)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t\n", k, oldCol, newCol, deltaCol)
+	}
+	tw.Flush()
+	return b.String(), changed
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event format (the
+// chrome://tracing and Perfetto JSON schema). Spans use Ph "X" with
+// TS/Dur, instant events Ph "i", and track names ride on Ph "M"
+// process_name metadata. TS and Dur are simulated cycles, not
+// microseconds; the file's otherData says so.
+type ChromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   uint64            `json:"ts"`
+	Dur  uint64            `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// TraceFile is the object form of a Chrome trace-event file.
+type TraceFile struct {
+	TraceEvents []ChromeEvent     `json:"traceEvents"`
+	OtherData   map[string]string `json:"otherData,omitempty"`
+}
+
+// trackSnapshot pairs a track name with a copy of its records, taken in
+// name order so exports never depend on map iteration or on which
+// worker populated a track first.
+type trackSnapshot struct {
+	track string
+	recs  []Record
+}
+
+func (r *Registry) snapshotTracks() []trackSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := r.sortedTracks()
+	tracers := make([]*Tracer, len(names))
+	for i, n := range names {
+		tracers[i] = r.tracers[n]
+	}
+	r.mu.Unlock()
+	out := make([]trackSnapshot, len(names))
+	for i, n := range names {
+		out[i] = trackSnapshot{track: n, recs: tracers[i].Records()}
+	}
+	return out
+}
+
+// ChromeTrace exports every track as Chrome trace-event JSON: one pid
+// per track (in name order), a process_name metadata event carrying the
+// track name, then the track's records in append order. Byte-identical
+// for identical record sets (reader API: tools and tests only).
+func (r *Registry) ChromeTrace() ([]byte, error) {
+	tf := TraceFile{
+		TraceEvents: []ChromeEvent{},
+		OtherData: map[string]string{
+			"format":   "snic-trace v1",
+			"timeUnit": fmt.Sprintf("cycles (%d cycles per simulated ms)", CyclesPerMS),
+		},
+	}
+	for i, ts := range r.snapshotTracks() {
+		pid := i + 1
+		tf.TraceEvents = append(tf.TraceEvents, ChromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  pid,
+			Args: map[string]string{"name": ts.track},
+		})
+		for _, rec := range ts.recs {
+			ev := ChromeEvent{
+				Name: rec.Name,
+				Cat:  rec.Component,
+				Ph:   "X",
+				TS:   rec.Start,
+				Dur:  rec.Dur,
+				PID:  pid,
+				TID:  1,
+			}
+			if rec.Instant {
+				ev.Ph = "i"
+				ev.S = "t"
+				ev.Dur = 0
+			}
+			tf.TraceEvents = append(tf.TraceEvents, ev)
+		}
+	}
+	return json.MarshalIndent(tf, "", "  ")
+}
+
+// TraceText renders every track as plain text, one indented line per
+// record: spans as "[start +dur]", instants as "@ at". Same ordering
+// guarantees as ChromeTrace (reader API: tools and tests only).
+func (r *Registry) TraceText() string {
+	var b strings.Builder
+	b.WriteString("# snic-trace v1\n")
+	for _, ts := range r.snapshotTracks() {
+		fmt.Fprintf(&b, "track %s\n", ts.track)
+		for _, rec := range ts.recs {
+			if rec.Instant {
+				fmt.Fprintf(&b, "  @ %10d           %s %s\n", rec.Start, rec.Component, rec.Name)
+				continue
+			}
+			fmt.Fprintf(&b, "  [ %10d +%8d] %s %s\n", rec.Start, rec.Dur, rec.Component, rec.Name)
+		}
+	}
+	return b.String()
+}

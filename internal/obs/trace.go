@@ -1,0 +1,117 @@
+package obs
+
+import "sync"
+
+// Record is one trace entry: a span (Dur cycles starting at Start) or an
+// instant event (Instant, Dur 0). Stamps are simulated cycles from the
+// track's Clock, never wall time.
+type Record struct {
+	Component string
+	Name      string
+	Start     uint64
+	Dur       uint64
+	Instant   bool
+}
+
+// Tracer collects the records of one track. A track models one serial
+// activity (a device's trusted-instruction stream, one engine job), so
+// records append in a well-defined order even when many tracks are
+// populated concurrently.
+type Tracer struct {
+	mu    sync.Mutex
+	track string
+	recs  []Record
+}
+
+// Track returns the track name ("-" placeholder on a nil tracer).
+func (t *Tracer) Track() string {
+	if t == nil {
+		return "-"
+	}
+	return t.track
+}
+
+// Span records a completed span of dur cycles starting at start. Safe on
+// a nil handle.
+func (t *Tracer) Span(component, name string, start, dur uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.recs = append(t.recs, Record{
+		Component: sanitize(component),
+		Name:      sanitize(name),
+		Start:     start,
+		Dur:       dur,
+	})
+	t.mu.Unlock()
+}
+
+// Event records an instant event at cycle at. Safe on a nil handle.
+func (t *Tracer) Event(component, name string, at uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.recs = append(t.recs, Record{
+		Component: sanitize(component),
+		Name:      sanitize(name),
+		Start:     at,
+		Instant:   true,
+	})
+	t.mu.Unlock()
+}
+
+// Records returns a copy of the track's records in append order (reader
+// API: tools and tests only).
+func (t *Tracer) Records() []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Record, len(t.recs))
+	copy(out, t.recs)
+	return out
+}
+
+// CyclesPerMS converts the simulator's millisecond-denominated rate
+// model to the 1.2 GHz cycle domain the timing cores use
+// (cpu.DefaultLatencies), so span stamps and Figure 6 rows are two views
+// of the same quantity.
+const CyclesPerMS = 1_200_000
+
+// MSToCycles converts a simulated-milliseconds duration to cycles,
+// rounding half away from zero.
+func MSToCycles(ms float64) uint64 {
+	if ms <= 0 {
+		return 0
+	}
+	return uint64(ms*CyclesPerMS + 0.5)
+}
+
+// Clock is a simulated cycle counter for stamping trace records. The
+// zero value reads cycle zero; devices advance it by each modeled
+// latency. A nil *Clock reads zero and ignores advances, matching the
+// detached-collector convention.
+type Clock struct{ cycle uint64 }
+
+// Now returns the current cycle.
+func (c *Clock) Now() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.cycle
+}
+
+// Tick advances the clock by dur cycles and returns the cycle the
+// interval started at — the natural shape for "this phase just took
+// dur": Span(component, name, clk.Tick(dur), dur).
+func (c *Clock) Tick(dur uint64) uint64 {
+	if c == nil {
+		return 0
+	}
+	start := c.cycle
+	c.cycle += dur
+	return start
+}

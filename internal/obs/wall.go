@@ -1,0 +1,39 @@
+package obs
+
+import "time"
+
+// Wall is the simulator's single sanctioned wall-clock collector. The
+// determinism rule bans wall time from the simulated path because it
+// varies run to run; progress reporting (-v) still legitimately wants
+// it. Wall quarantines that want: the clock function is injected at the
+// one waived construction site (internal/engine), readings are plain
+// wall durations handed straight to stderr reporting, and nothing Wall
+// produces ever enters a metric dump, trace file, or experiment result.
+//
+// A nil *Wall reads the zero time and zero duration, so timing code
+// needs no collector-presence branches.
+type Wall struct {
+	now func() time.Time
+}
+
+// NewWall wraps a wall-clock source, conventionally time.Now at the
+// single waived site. Tests inject a fake for deterministic durations.
+func NewWall(now func() time.Time) *Wall {
+	return &Wall{now: now}
+}
+
+// Start returns the current wall time as an opaque mark for Since.
+func (w *Wall) Start() time.Time {
+	if w == nil || w.now == nil {
+		return time.Time{}
+	}
+	return w.now()
+}
+
+// Since returns the wall time elapsed from a Start mark.
+func (w *Wall) Since(start time.Time) time.Duration {
+	if w == nil || w.now == nil {
+		return 0
+	}
+	return w.now().Sub(start)
+}

@@ -11,8 +11,10 @@ package pktio
 
 import (
 	"fmt"
+	"strconv"
 
 	"snic/internal/mem"
+	"snic/internal/obs"
 	"snic/internal/pkt"
 	"snic/internal/tlb"
 )
@@ -78,6 +80,12 @@ type VPP struct {
 	// Stats.
 	Delivered   uint64
 	DroppedFull uint64
+
+	// obs handles (per-tenant packet/byte accounting); nil until the
+	// owning Switch is observed.
+	obsRxPkts, obsRxBytes, obsRxDrops *obs.Counter
+	obsTxPkts, obsTxBytes             *obs.Counter
+	obsFrameBytes                     *obs.Histogram
 }
 
 // Switch is the packet input/output module pair plus rule table.
@@ -92,6 +100,12 @@ type Switch struct {
 
 	// Stats.
 	NoMatch uint64
+
+	// obs state; zero until Observe attaches a collector. VPPs created
+	// afterwards pick up per-tenant counters in CreateVPP.
+	obsReg     *obs.Registry
+	obsDevice  string
+	obsNoMatch *obs.Counter
 }
 
 // NewSwitch builds the ingress/egress hardware with the given physical
@@ -103,6 +117,19 @@ func NewSwitch(pm *mem.Physical, rxCapacity, txCapacity uint64) *Switch {
 		txCapacity: txCapacity,
 		vpps:       make(map[mem.Owner]*VPP),
 	}
+}
+
+// Observe attaches per-tenant packet/byte counters to reg under the
+// given device label (component "pktio"). Pipelines created after the
+// call are instrumented per owner; a nil reg leaves the switch
+// detached. Call before CreateVPP.
+func (s *Switch) Observe(reg *obs.Registry, device string) {
+	if reg == nil {
+		return
+	}
+	s.obsReg = reg
+	s.obsDevice = device
+	s.obsNoMatch = reg.Counter(obs.Label{Device: device, Owner: "-", Component: "pktio", Name: "no_match"})
 }
 
 // CreateVPP reserves rx/tx buffer space and builds the scheduler unit for
@@ -133,6 +160,18 @@ func (s *Switch) CreateVPP(owner mem.Owner, rxBytes, txBytes uint64,
 	v := &VPP{
 		Owner: owner, RXBytes: rxBytes, TXBytes: txBytes,
 		sched: bank, ringBase: ringBase, slots: slots, slotSize: slotSize,
+	}
+	if s.obsReg != nil {
+		tenant := "nf" + strconv.Itoa(int(owner))
+		l := func(name string) obs.Label {
+			return obs.Label{Device: s.obsDevice, Owner: tenant, Component: "pktio", Name: name}
+		}
+		v.obsRxPkts = s.obsReg.Counter(l("rx_packets"))
+		v.obsRxBytes = s.obsReg.Counter(l("rx_bytes"))
+		v.obsRxDrops = s.obsReg.Counter(l("rx_dropped_full"))
+		v.obsTxPkts = s.obsReg.Counter(l("tx_packets"))
+		v.obsTxBytes = s.obsReg.Counter(l("tx_bytes"))
+		v.obsFrameBytes = s.obsReg.Histogram(l("frame_bytes"))
 	}
 	s.rxReserved += rxBytes
 	s.txReserved += txBytes
@@ -200,12 +239,14 @@ func (s *Switch) Deliver(frame []byte) (mem.Owner, error) {
 		return r.Target, nil
 	}
 	s.NoMatch++
+	s.obsNoMatch.Inc()
 	return mem.Free, nil
 }
 
 func (v *VPP) push(pm *mem.Physical, frame []byte) error {
 	if len(v.queue) >= v.slots {
 		v.DroppedFull++
+		v.obsRxDrops.Inc()
 		return nil // tail drop, as hardware does
 	}
 	if len(frame) > v.slotSize {
@@ -236,6 +277,11 @@ func (v *VPP) push(pm *mem.Physical, frame []byte) error {
 	v.queue = append(v.queue, Descriptor{VA: va, Len: len(frame)})
 	v.head = (v.head + 1) % v.slots
 	v.Delivered++
+	if v.obsRxPkts != nil {
+		v.obsRxPkts.Inc()
+		v.obsRxBytes.Add(uint64(len(frame)))
+		v.obsFrameBytes.Observe(uint64(len(frame)))
+	}
 	return nil
 }
 
@@ -290,6 +336,10 @@ func (s *Switch) Transmit(owner mem.Owner, va tlb.VAddr, n int, wire func([]byte
 	frame, err := v.ReadFrame(s.pm, Descriptor{VA: va, Len: n})
 	if err != nil {
 		return err
+	}
+	if v.obsTxPkts != nil {
+		v.obsTxPkts.Inc()
+		v.obsTxBytes.Add(uint64(n))
 	}
 	if wire != nil {
 		wire(frame)

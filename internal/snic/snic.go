@@ -28,6 +28,7 @@ import (
 	"snic/internal/cache"
 	"snic/internal/dma"
 	"snic/internal/mem"
+	"snic/internal/obs"
 	"snic/internal/pagealloc"
 	"snic/internal/pktio"
 	"snic/internal/tlb"
@@ -197,6 +198,46 @@ type Device struct {
 	SharedCaches []*cache.Cache
 	// DomainOf maps an NF id to its cache/bus domain index.
 	DomainOf func(ID) int
+
+	// obs state; zero until Observe attaches a collector. The clock
+	// advances by each trusted instruction's modeled latency, so span
+	// stamps are pure functions of the instruction stream.
+	obsReg  *obs.Registry
+	obsTr   *obs.Tracer
+	obsClk  obs.Clock
+	obsLive *obs.Gauge
+}
+
+// Observe attaches the device to a collector: trusted instructions
+// (nf_launch, nf_attest, nf_teardown) emit cycle-stamped phase spans on
+// the given trace track, matching the Figure 6 breakdown, and the
+// switch, management MMU, accelerators, and per-NF TLB banks gain
+// metric counters under the device serial. Concurrent devices must use
+// distinct tracks (and serials, if their metrics should stay separate).
+// A nil reg leaves the device detached.
+func (d *Device) Observe(reg *obs.Registry, track string) {
+	if reg == nil {
+		return
+	}
+	d.obsReg = reg
+	d.obsTr = reg.Tracer(track)
+	d.obsLive = reg.Gauge(obs.Label{Device: d.cfg.Serial, Owner: "-", Component: "snic", Name: "live_nfs"})
+	d.sw.Observe(reg, d.cfg.Serial)
+	d.mgmt.Observe(reg, d.cfg.Serial, "mgmt")
+	d.dpi.Observe(reg, d.cfg.Serial)
+	d.zip.Observe(reg, d.cfg.Serial)
+	d.raid.Observe(reg, d.cfg.Serial)
+	d.crypto.Observe(reg, d.cfg.Serial)
+}
+
+// span stamps one trusted-instruction phase of ms simulated
+// milliseconds onto the trace, advancing the device's cycle clock.
+func (d *Device) span(name string, ms float64) {
+	if d.obsTr == nil {
+		return
+	}
+	dur := obs.MSToCycles(ms)
+	d.obsTr.Span("snic", name, d.obsClk.Tick(dur), dur)
 }
 
 // New builds an S-NIC, manufacturing its attestation identity under
@@ -341,6 +382,9 @@ func (d *Device) Launch(spec LaunchSpec) (LaunchReport, error) {
 		return fail(err)
 	}
 	bank := tlb.NewBank(plan.Entries + 1)
+	if d.obsReg != nil {
+		bank.Observe(d.obsReg, d.cfg.Serial, fmt.Sprintf("nf%d", id))
+	}
 	va := uint64(0)
 	for _, m := range plan.Pages {
 		for i := 0; i < m.Count; i++ {
@@ -463,6 +507,12 @@ func (d *Device) Launch(spec LaunchSpec) (LaunchReport, error) {
 		DenylistMS: d.rates.DenylistSec * 1e3,
 		DigestMS:   float64(spec.MemBytes) / d.rates.DigestBytesPerSec * 1e3,
 	}
+	// The trace mirrors the report phase for phase; the cross-check test
+	// in internal/exp holds the two accountings together.
+	d.span("launch/tlb_setup", r.TLBSetupMS)
+	d.span("launch/denylist", r.DenylistMS)
+	d.span("launch/sha_digest", r.DigestMS)
+	d.obsLive.Set(int64(len(d.nfs)))
 	return r, nil
 }
 
@@ -493,10 +543,14 @@ func (d *Device) Teardown(id ID) (TeardownReport, error) {
 		}
 	}
 	delete(d.nfs, id)
-	return TeardownReport{
+	r := TeardownReport{
 		AllowlistMS: d.rates.AllowlistSec * 1e3,
 		ScrubMS:     float64(scrubbed) / d.rates.ScrubBytesPerSec * 1e3,
-	}, nil
+	}
+	d.span("teardown/allowlist", r.AllowlistMS)
+	d.span("teardown/scrub", r.ScrubMS)
+	d.obsLive.Set(int64(len(d.nfs)))
+	return r, nil
 }
 
 // AttestNF is nf_attest: sign the function's launch hash with the device
@@ -512,6 +566,8 @@ func (d *Device) AttestNF(id ID, nonce []byte) (attest.Quote, *big.Int, float64,
 	if err != nil {
 		return attest.Quote{}, nil, 0, err
 	}
+	d.span("attest/sha", d.rates.AttestSHASec*1e3)
+	d.span("attest/rsa_sign", d.rates.RSASignSec*1e3)
 	latency := (d.rates.RSASignSec + d.rates.AttestSHASec) * 1e3
 	return q, x, latency, nil
 }

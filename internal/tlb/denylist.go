@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"snic/internal/mem"
+	"snic/internal/obs"
 )
 
 // Denylist is the hardware-private page table that records physical frames
@@ -81,11 +82,24 @@ func (d *Denylist) Len() int { return len(d.denied) }
 type GuardedBank struct {
 	Bank     *Bank
 	Denylist *Denylist
+	// obsDenied counts denylist rejections (fill-time and use-time); nil
+	// until Observe attaches a collector.
+	obsDenied *obs.Counter
 }
 
 // NewGuardedBank builds the management-core MMU.
 func NewGuardedBank(capacity int, d *Denylist) *GuardedBank {
 	return &GuardedBank{Bank: NewBank(capacity), Denylist: d}
+}
+
+// Observe attaches the inner bank's counters plus a deny_rejections
+// counter to reg. A nil reg leaves the MMU detached.
+func (g *GuardedBank) Observe(reg *obs.Registry, device, owner string) {
+	if reg == nil {
+		return
+	}
+	g.Bank.Observe(reg, device, owner)
+	g.obsDenied = reg.Counter(obs.Label{Device: device, Owner: owner, Component: "tlb", Name: "deny_rejections"})
 }
 
 // Install dual-walks the denylist before accepting the mapping, exactly as
@@ -94,6 +108,7 @@ func NewGuardedBank(capacity int, d *Denylist) *GuardedBank {
 // address in the new mapping to walk the denylist page table."
 func (g *GuardedBank) Install(e Entry) error {
 	if g.Denylist.Denied(e.PA, e.Size) {
+		g.obsDenied.Inc()
 		return fmt.Errorf("%w: PA [%#x,+%#x)", ErrDenied, e.PA, e.Size)
 	}
 	return g.Bank.Install(e)
@@ -109,6 +124,7 @@ func (g *GuardedBank) Translate(va VAddr, need Perm) (mem.Addr, error) {
 		return 0, err
 	}
 	if g.Denylist.Denied(pa, 1) {
+		g.obsDenied.Inc()
 		return 0, ErrDenied
 	}
 	return pa, nil

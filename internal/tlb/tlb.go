@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"snic/internal/mem"
+	"snic/internal/obs"
 )
 
 // Perm is a permission bitmask for a mapping.
@@ -71,6 +72,8 @@ type Bank struct {
 	// Misses counts failed translations; on a locked bank every miss is
 	// fatal to the owning NF, so the owner watches this via the device.
 	misses uint64
+	// obs handles; nil until Observe attaches a collector.
+	obsFills, obsMisses, obsLockedFaults *obs.Counter
 }
 
 // NewBank returns an empty bank with the given entry capacity.
@@ -89,6 +92,18 @@ func (b *Bank) Locked() bool { return b.locked }
 
 // Misses returns the count of failed translations.
 func (b *Bank) Misses() uint64 { return b.misses }
+
+// Observe attaches fill/miss/locked-fault counters to reg under the
+// given device and owner labels (component "tlb"). A nil reg leaves the
+// bank detached.
+func (b *Bank) Observe(reg *obs.Registry, device, owner string) {
+	if reg == nil {
+		return
+	}
+	b.obsFills = reg.Counter(obs.Label{Device: device, Owner: owner, Component: "tlb", Name: "fills"})
+	b.obsMisses = reg.Counter(obs.Label{Device: device, Owner: owner, Component: "tlb", Name: "misses"})
+	b.obsLockedFaults = reg.Counter(obs.Label{Device: device, Owner: owner, Component: "tlb", Name: "locked_faults"})
+}
 
 // Install adds an entry. It fails if the bank is locked, full, the entry
 // is malformed, or it overlaps an existing virtual range.
@@ -109,6 +124,7 @@ func (b *Bank) Install(e Entry) error {
 	}
 	b.entries = append(b.entries, e)
 	sort.Slice(b.entries, func(i, j int) bool { return b.entries[i].VA < b.entries[j].VA })
+	b.obsFills.Inc()
 	return nil
 }
 
@@ -137,6 +153,11 @@ func (b *Bank) Translate(va VAddr, need Perm) (mem.Addr, error) {
 		}
 	}
 	b.misses++
+	b.obsMisses.Inc()
+	if b.locked {
+		// On a locked S-NIC bank a miss is a fatal fault, not a refill.
+		b.obsLockedFaults.Inc()
+	}
 	return 0, ErrMiss
 }
 
