@@ -42,7 +42,16 @@ golden:
 	$(GO) test ./internal/exp -update
 
 # Repository-level benchmarks: one per table/figure, plus ablations and
-# the engine parallel-vs-serial speedup pair.
+# the engine parallel-vs-serial speedup pair. The run is recorded as a
+# stdlib-only JSON summary in the current PR's BENCH file (section
+# "post" by convention; record a pre-change tree with
+# BENCH_SECTION=baseline) and compared with `snicperf` — see
+# EXPERIMENTS.md "Benchmark trajectory".
+BENCH_FILE ?= BENCH_5.json
+BENCH_SECTION ?= post
+BENCH_PR ?= 5
+BENCH_PATTERN ?= .
 .PHONY: bench
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem . | tee /dev/stderr | \
+		$(GO) run ./cmd/snicperf -record -o $(BENCH_FILE) -section $(BENCH_SECTION) -pr $(BENCH_PR)

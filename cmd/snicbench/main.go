@@ -135,6 +135,13 @@ var registry = map[string]func(*bench) error{
 		fmt.Println()
 		return nil
 	},
+	"fig5dev": func(b *bench) error {
+		rows, err := b.runner.Figure5Devices(b.cfgs.fig5)
+		if err != nil {
+			return err
+		}
+		return b.emit(exp.RenderFig5Dev(rows))
+	},
 	"fig6": func(b *bench) error {
 		rows, err := b.runner.Figure6()
 		if err != nil {

@@ -1,0 +1,128 @@
+// Command snicperf records and compares benchmark runs, maintaining the
+// BENCH_<pr>.json trajectory files. Usage:
+//
+//	go test -bench=. -benchmem . | snicperf -record -o BENCH_5.json -section post -pr 5
+//	snicperf BENCH_5.json                  # diff baseline -> post within one file
+//	snicperf BENCH_4.json BENCH_5.json     # diff two PRs' representative ("post") runs
+//	snicperf -threshold 5 OLD.json NEW.json
+//
+// -record parses `go test -bench` text from stdin into the file's named
+// section, creating the file or replacing just that section. Diff mode
+// prints a tabwriter table of ns/op and allocs/op movement and exits 1
+// if any benchmark's ns/op regressed by more than -threshold percent
+// (benchmarks present on only one side never count). Exit status: 0 ok,
+// 1 regression, 2 usage or parse errors — the same contract as
+// snicstat.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"snic/internal/perf"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snicperf:", err)
+	os.Exit(2)
+}
+
+func main() {
+	record := flag.Bool("record", false, "parse `go test -bench` output from stdin into -o")
+	out := flag.String("o", "BENCH.json", "output file for -record")
+	section := flag.String("section", "", `section name: for -record, where to store (default "post"); for a single-file diff argument, which section to read`)
+	pr := flag.Int("pr", 0, "PR number to stamp into the file on -record")
+	threshold := flag.Float64("threshold", 10, "ns/op regression tolerance in percent before exit 1")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage: go test -bench=. -benchmem . | snicperf -record -o BENCH_N.json [-section post] [-pr N]
+       snicperf [-threshold PCT] BENCH_N.json             (baseline vs post)
+       snicperf [-threshold PCT] OLD.json NEW.json`)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *record {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		doRecord(*out, *section, *pr)
+		return
+	}
+
+	switch flag.NArg() {
+	case 1:
+		f := readFile(flag.Arg(0))
+		base := f.Sections["baseline"]
+		post := f.Sections["post"]
+		if base == nil || post == nil {
+			fatal(fmt.Errorf("%s: single-file diff needs both \"baseline\" and \"post\" sections", flag.Arg(0)))
+		}
+		diff(base, post, *threshold)
+	case 2:
+		old, err := readFile(flag.Arg(0)).Section(*section)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", flag.Arg(0), err))
+		}
+		cur, err := readFile(flag.Arg(1)).Section(*section)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", flag.Arg(1), err))
+		}
+		diff(old, cur, *threshold)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doRecord(path, section string, pr int) {
+	if section == "" {
+		section = "post"
+	}
+	s, err := perf.ParseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	f := &perf.File{Sections: map[string]*perf.Summary{}}
+	if data, err := os.ReadFile(path); err == nil {
+		if f, err = perf.ReadFile(bytes.NewReader(data)); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+	}
+	f.Sections[section] = s
+	if pr != 0 {
+		f.PR = pr
+	}
+	data, err := f.Marshal()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "snicperf: recorded %d benchmarks into %s section %q\n",
+		len(s.Benchmarks), path, section)
+}
+
+func readFile(path string) *perf.File {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := perf.ReadFile(bytes.NewReader(data))
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return f
+}
+
+func diff(old, cur *perf.Summary, threshold float64) {
+	deltas := perf.Diff(old, cur)
+	fmt.Print(perf.RenderDiff(deltas, threshold))
+	if n := perf.Regressions(deltas, threshold); n > 0 {
+		fmt.Printf("%d of %d benchmarks regressed beyond %.0f%%\n", n, len(deltas), threshold)
+		os.Exit(1)
+	}
+}

@@ -50,6 +50,11 @@ type Stats struct {
 type Tracker struct {
 	Arbiter
 	stats []Stats
+	// temporal caches the comma-ok downcast done once at construction, so
+	// the dead-time accounting below can never panic on a non-Temporal
+	// arbiter with observability attached. Arbiter must not be swapped
+	// after NewTracker.
+	temporal *Temporal
 	// obs handles, indexed by domain; nil until Observe attaches a
 	// collector. dead is populated only when the wrapped arbiter is
 	// *Temporal (dead time is that discipline's defining cost).
@@ -58,7 +63,9 @@ type Tracker struct {
 
 // NewTracker wraps arb, tracking domains many domains.
 func NewTracker(arb Arbiter, domains int) *Tracker {
-	return &Tracker{Arbiter: arb, stats: make([]Stats, domains)}
+	t := &Tracker{Arbiter: arb, stats: make([]Stats, domains)}
+	t.temporal, _ = arb.(*Temporal)
+	return t
 }
 
 // Observe attaches per-domain grant/busy/stall counters to reg under
@@ -75,7 +82,7 @@ func (t *Tracker) Observe(reg *obs.Registry, device string) {
 	t.obsGrants = make([]*obs.Counter, n)
 	t.obsBusy = make([]*obs.Counter, n)
 	t.obsStall = make([]*obs.Counter, n)
-	_, temporal := t.Arbiter.(*Temporal)
+	temporal := t.temporal != nil
 	if temporal {
 		t.obsDead = make([]*obs.Counter, n)
 	}
@@ -102,7 +109,7 @@ func (t *Tracker) Request(domain int, now, dur uint64) uint64 {
 		t.obsBusy[domain].Add(dur)
 		t.obsStall[domain].Add(start - now)
 		if t.obsDead != nil {
-			t.obsDead[domain].Add(t.Arbiter.(*Temporal).DeadOverlap(now, start))
+			t.obsDead[domain].Add(t.temporal.DeadOverlap(now, start))
 		}
 	}
 	return start

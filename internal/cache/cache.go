@@ -17,6 +17,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 	"strconv"
 
 	"snic/internal/mem"
@@ -59,12 +60,15 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses())
 }
 
-type line struct {
-	tag    uint64
-	domain int
+// lineMeta is the bookkeeping half of a cache line. Tags live in their
+// own slice (structure-of-arrays) so the way-probe loop — the hottest
+// loop in the whole simulator — scans contiguous uint64s and only loads
+// the metadata of a tag that matched.
+type lineMeta struct {
+	used   uint64 // LRU timestamp
+	domain int32
 	valid  bool
 	dirty  bool
-	used   uint64 // LRU timestamp
 }
 
 // Cache is one level of set-associative cache.
@@ -75,9 +79,21 @@ type Cache struct {
 	ways     int
 	policy   Policy
 	domains  int
-	lines    []line // sets*ways, row-major by set
+	tags     []uint64   // sets*ways, row-major by set
+	meta     []lineMeta // parallel to tags
 	tick     uint64
 	stats    []Stats
+	// pow2 indexing: when both lineSize and sets are powers of two (every
+	// real configuration), set/tag extraction is a shift and a mask. The
+	// div/mod slow path stays behind locate for the rest.
+	pow2      bool
+	lineShift uint
+	setShift  uint
+	setMask   uint64
+	// ranges[d] is the half-open way interval domain d may occupy,
+	// precomputed at construction and on every wayAlloc install instead of
+	// being rebuilt per access.
+	ranges [][2]int32
 	// wayAlloc, when non-nil, overrides the equal static split with
 	// explicit per-domain way ranges (installed by the SecDCP Resizer).
 	wayAlloc [][2]int
@@ -114,16 +130,85 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.Policy == Static && cfg.Ways < cfg.Domains {
 		return nil, fmt.Errorf("cache: %d ways cannot be partitioned across %d domains", cfg.Ways, cfg.Domains)
 	}
-	return &Cache{
+	c := &Cache{
 		name:     cfg.Name,
 		lineSize: cfg.LineSize,
 		sets:     sets,
 		ways:     cfg.Ways,
 		policy:   cfg.Policy,
 		domains:  cfg.Domains,
-		lines:    make([]line, int(lines)),
+		tags:     make([]uint64, int(lines)),
+		meta:     make([]lineMeta, int(lines)),
 		stats:    make([]Stats, cfg.Domains),
-	}, nil
+	}
+	if cfg.LineSize&(cfg.LineSize-1) == 0 && sets&(sets-1) == 0 {
+		c.pow2 = true
+		c.lineShift = uint(bits.TrailingZeros64(cfg.LineSize))
+		c.setShift = uint(bits.TrailingZeros64(uint64(sets)))
+		c.setMask = uint64(sets) - 1
+	}
+	c.computeRanges()
+	return c, nil
+}
+
+// locate splits a physical address into (set, tag). The pow2 fast path is
+// exactly the div/mod pair below expressed as shift/mask.
+func (c *Cache) locate(pa mem.Addr) (int, uint64) {
+	if c.pow2 {
+		block := uint64(pa) >> c.lineShift
+		return int(block & c.setMask), block >> c.setShift
+	}
+	block := uint64(pa) / c.lineSize
+	return int(block % uint64(c.sets)), block / uint64(c.sets)
+}
+
+// computeRanges rebuilds the per-domain way-range table from the policy
+// and the current wayAlloc override.
+func (c *Cache) computeRanges() {
+	if c.ranges == nil {
+		c.ranges = make([][2]int32, c.domains)
+	}
+	for d := 0; d < c.domains; d++ {
+		if c.policy == Shared {
+			c.ranges[d] = [2]int32{0, int32(c.ways)}
+			continue
+		}
+		if c.wayAlloc != nil {
+			r := c.wayAlloc[d]
+			c.ranges[d] = [2]int32{int32(r[0]), int32(r[1])}
+			continue
+		}
+		per := c.ways / c.domains
+		lo := d * per
+		hi := lo + per
+		if d == c.domains-1 {
+			hi = c.ways // last domain absorbs the remainder ways
+		}
+		c.ranges[d] = [2]int32{int32(lo), int32(hi)}
+	}
+}
+
+// setWayAlloc installs an explicit per-domain way allocation (the SecDCP
+// Resizer's mechanism), refreshes the precomputed range table, and
+// flushes every line stranded outside its owner's new range: content
+// must never be readable (or evictable) across a partition boundary.
+func (c *Cache) setWayAlloc(alloc [][2]int) {
+	c.wayAlloc = alloc
+	c.computeRanges()
+	for set := 0; set < c.sets; set++ {
+		base := set * c.ways
+		for w := 0; w < c.ways; w++ {
+			m := &c.meta[base+w]
+			if !m.valid {
+				continue
+			}
+			r := c.ranges[m.domain]
+			if int32(w) < r[0] || int32(w) >= r[1] {
+				*m = lineMeta{}
+				c.tags[base+w] = 0
+			}
+		}
+	}
 }
 
 // Sets returns the number of sets.
@@ -159,20 +244,8 @@ func (c *Cache) Observe(reg *obs.Registry, device string) {
 
 // wayRange returns the half-open way interval domain may occupy.
 func (c *Cache) wayRange(domain int) (int, int) {
-	if c.policy == Shared {
-		return 0, c.ways
-	}
-	if c.wayAlloc != nil {
-		r := c.wayAlloc[domain]
-		return r[0], r[1]
-	}
-	per := c.ways / c.domains
-	lo := domain * per
-	hi := lo + per
-	if domain == c.domains-1 {
-		hi = c.ways // last domain absorbs the remainder ways
-	}
-	return lo, hi
+	r := c.ranges[domain]
+	return int(r[0]), int(r[1])
 }
 
 // Access looks up the line containing pa on behalf of domain. It returns
@@ -180,20 +253,22 @@ func (c *Cache) wayRange(domain int) (int, int) {
 // victim within its permitted ways) and false is returned.
 func (c *Cache) Access(pa mem.Addr, domain int, write bool) bool {
 	c.tick++
-	set := int((uint64(pa) / c.lineSize) % uint64(c.sets))
-	tag := uint64(pa) / c.lineSize / uint64(c.sets)
+	set, tag := c.locate(pa)
 	base := set * c.ways
-	lo, hi := c.wayRange(domain)
+	r := c.ranges[domain]
+	lo, hi := base+int(r[0]), base+int(r[1])
 
 	// Probe: under Shared a domain can hit on any way (Intel CAT-style
 	// "soft" partitioning would hit across regions too — the paper notes
 	// this is why CAT is insufficient). Under Static, hits can only come
 	// from the domain's own ways, because no other placement ever occurs.
-	for w := lo; w < hi; w++ {
-		l := &c.lines[base+w]
-		if l.valid && l.tag == tag && l.domain == domain {
-			l.used = c.tick
-			l.dirty = l.dirty || write
+	// The tag compare runs over the contiguous tags slice; metadata is
+	// only consulted on a candidate match.
+	for i := lo; i < hi; i++ {
+		m := &c.meta[i]
+		if c.tags[i] == tag && m.valid && int(m.domain) == domain {
+			m.used = c.tick
+			m.dirty = m.dirty || write
 			c.stats[domain].Hits++
 			if c.obsHits != nil {
 				c.obsHits[domain].Inc()
@@ -205,11 +280,11 @@ func (c *Cache) Access(pa mem.Addr, domain int, write bool) bool {
 	// hit (shared physical line) — this cross-domain visibility is itself
 	// part of the side channel.
 	if c.policy == Shared {
-		for w := 0; w < c.ways; w++ {
-			l := &c.lines[base+w]
-			if l.valid && l.tag == tag {
-				l.used = c.tick
-				l.dirty = l.dirty || write
+		for i := base; i < base+c.ways; i++ {
+			m := &c.meta[i]
+			if c.tags[i] == tag && m.valid {
+				m.used = c.tick
+				m.dirty = m.dirty || write
 				c.stats[domain].Hits++
 				if c.obsHits != nil {
 					c.obsHits[domain].Inc()
@@ -220,26 +295,27 @@ func (c *Cache) Access(pa mem.Addr, domain int, write bool) bool {
 	}
 
 	// Miss: fill into the LRU way of the permitted range.
-	victim := base + lo
-	for w := lo; w < hi; w++ {
-		l := &c.lines[base+w]
-		if !l.valid {
-			victim = base + w
+	victim := lo
+	for i := lo; i < hi; i++ {
+		m := &c.meta[i]
+		if !m.valid {
+			victim = i
 			break
 		}
-		if l.used < c.lines[victim].used {
-			victim = base + w
+		if m.used < c.meta[victim].used {
+			victim = i
 		}
 	}
 	if c.obsMisses != nil {
 		c.obsMisses[domain].Inc()
 		// Evictions are charged to the domain losing the line, which is
 		// where cross-domain interference shows up under Shared.
-		if v := c.lines[victim]; v.valid {
+		if v := c.meta[victim]; v.valid {
 			c.obsEvictions[v.domain].Inc()
 		}
 	}
-	c.lines[victim] = line{tag: tag, domain: domain, valid: true, dirty: write, used: c.tick}
+	c.tags[victim] = tag
+	c.meta[victim] = lineMeta{used: c.tick, domain: int32(domain), valid: true, dirty: write}
 	c.stats[domain].Misses++
 	return false
 }
@@ -247,12 +323,10 @@ func (c *Cache) Access(pa mem.Addr, domain int, write bool) bool {
 // Contains reports whether pa is resident (without touching LRU state or
 // stats) — the observability hook used by prime+probe tests.
 func (c *Cache) Contains(pa mem.Addr) bool {
-	set := int((uint64(pa) / c.lineSize) % uint64(c.sets))
-	tag := uint64(pa) / c.lineSize / uint64(c.sets)
+	set, tag := c.locate(pa)
 	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		l := c.lines[base+w]
-		if l.valid && l.tag == tag {
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag && c.meta[i].valid {
 			return true
 		}
 	}
@@ -265,9 +339,10 @@ func (c *Cache) Contains(pa mem.Addr) bool {
 // lines flushed.
 func (c *Cache) FlushDomain(domain int) int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid && c.lines[i].domain == domain {
-			c.lines[i] = line{}
+	for i := range c.meta {
+		if c.meta[i].valid && int(c.meta[i].domain) == domain {
+			c.meta[i] = lineMeta{}
+			c.tags[i] = 0
 			n++
 		}
 	}
@@ -284,8 +359,8 @@ func (c *Cache) ResetStats() {
 // OccupancyOf returns how many lines domain currently holds.
 func (c *Cache) OccupancyOf(domain int) int {
 	n := 0
-	for _, l := range c.lines {
-		if l.valid && l.domain == domain {
+	for _, m := range c.meta {
+		if m.valid && int(m.domain) == domain {
 			n++
 		}
 	}

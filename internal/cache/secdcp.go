@@ -68,30 +68,17 @@ func NewResizer(c *Cache, minWays []int) (*Resizer, error) {
 // Ways returns the current allocation of a domain.
 func (r *Resizer) Ways(domain int) int { return r.curWays[domain] }
 
-// apply installs the current allocation as way ranges on the cache and
-// flushes any line now outside its owner's range.
+// apply installs the current allocation as way ranges on the cache.
+// setWayAlloc refreshes the precomputed range table and flushes any line
+// now outside its owner's range.
 func (r *Resizer) apply() {
-	r.c.wayAlloc = make([][2]int, r.c.domains)
+	alloc := make([][2]int, r.c.domains)
 	lo := 0
 	for d, w := range r.curWays {
-		r.c.wayAlloc[d] = [2]int{lo, lo + w}
+		alloc[d] = [2]int{lo, lo + w}
 		lo += w
 	}
-	// Flush lines stranded outside their domain's new range: content must
-	// never be readable (or evictable) across a partition boundary.
-	for set := 0; set < r.c.sets; set++ {
-		base := set * r.c.ways
-		for w := 0; w < r.c.ways; w++ {
-			l := &r.c.lines[base+w]
-			if !l.valid {
-				continue
-			}
-			rangeOf := r.c.wayAlloc[l.domain]
-			if w < rangeOf[0] || w >= rangeOf[1] {
-				*l = line{}
-			}
-		}
-	}
+	r.c.setWayAlloc(alloc)
 }
 
 // Tick runs one SecDCP decision epoch. It looks ONLY at the OS's own

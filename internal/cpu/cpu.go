@@ -51,6 +51,17 @@ type Stream interface {
 	Next() (Op, bool)
 }
 
+// BatchStream is the optional bulk fast path: NextBatch fills buf with
+// the next ops and returns how many were written (0 means exhausted).
+// The ops delivered must be exactly the sequence Next would have
+// produced — Core.Run and Runner.RunInstr use batches to amortize the
+// per-instruction interface call, and the goldens rely on the two paths
+// being indistinguishable.
+type BatchStream interface {
+	Stream
+	NextBatch(buf []Op) int
+}
+
 // SliceStream replays a fixed []Op (used by tests and microbenches).
 type SliceStream struct {
 	Ops []Op
@@ -65,6 +76,13 @@ func (s *SliceStream) Next() (Op, bool) {
 	op := s.Ops[s.i]
 	s.i++
 	return op, true
+}
+
+// NextBatch implements BatchStream.
+func (s *SliceStream) NextBatch(buf []Op) int {
+	n := copy(buf, s.Ops[s.i:])
+	s.i += n
+	return n
 }
 
 // Latencies holds the memory-hierarchy timing parameters in core cycles.
@@ -85,6 +103,11 @@ func DefaultLatencies() Latencies {
 	return Latencies{L1Hit: 1, L2Hit: 12, DRAM: 84, BusXfer: 8, MLP: 4}
 }
 
+// batchSize is the prefetch depth for BatchStream sources: large enough
+// to amortize the interface call, small enough that a core stopping at a
+// quantum horizon never holds more than a packet or two of lookahead.
+const batchSize = 64
+
 // Core executes a Stream against the hierarchy.
 type Core struct {
 	// Domain is the security domain (NF index) for cache and bus
@@ -97,6 +120,22 @@ type Core struct {
 
 	cycle   uint64
 	instret uint64
+
+	// Latency fields hoisted out of the per-access path by prepare()
+	// (zero-value defaults are re-derived lazily, so direct Step callers
+	// see the same behaviour as Run/RunInstr).
+	l1Lat uint64
+	mlp   uint64
+
+	// Prefetch stash for BatchStream sources. Unconsumed ops survive
+	// across Run/RunInstr calls (warmup then measurement reuse them), so
+	// a Core is tied to one stream: handing it a different stream
+	// discards any stashed lookahead from the previous one.
+	batch []Op
+	bi    int
+	bn    int
+	bsrc  Stream      // stream the stash was filled from
+	bs    BatchStream // non-nil when bsrc supports batching
 }
 
 // Cycle returns the core's local cycle counter.
@@ -138,12 +177,28 @@ func (c *Core) Step(op Op) {
 	}
 }
 
+// prepare caches the clamped latency parameters so the per-access path
+// stops re-reading (and re-clamping) Lat per instruction. Run and
+// RunInstr call it on entry; access self-heals for direct Step callers.
+// Callers that mutate Lat between Steps get the refresh on the next
+// Run/RunInstr entry.
+func (c *Core) prepare() {
+	c.l1Lat = c.Lat.L1Hit
+	if c.l1Lat == 0 {
+		c.l1Lat = 1
+	}
+	c.mlp = c.Lat.MLP
+	if c.mlp == 0 {
+		c.mlp = 1
+	}
+}
+
 // access returns the cycles charged for one memory operation.
 func (c *Core) access(pa mem.Addr, write bool) uint64 {
-	lat := c.Lat.L1Hit
-	if lat == 0 {
-		lat = 1
+	if c.mlp == 0 {
+		c.prepare()
 	}
+	lat := c.l1Lat
 	// The L1 is core-private (never shared across domains), so it is
 	// always indexed as domain 0 regardless of which NF owns the core.
 	if c.L1 != nil && c.L1.Access(pa, 0, write) {
@@ -163,23 +218,48 @@ func (c *Core) access(pa mem.Addr, write bool) uint64 {
 
 // stall divides a stall through the MLP window.
 func (c *Core) stall(cycles uint64) uint64 {
-	mlp := c.Lat.MLP
-	if mlp == 0 {
-		mlp = 1
-	}
-	s := cycles / mlp
+	s := cycles / c.mlp
 	if s == 0 && cycles > 0 {
 		s = 1
 	}
 	return s
 }
 
+// nextOp yields the next op from s, going through the prefetch stash
+// when s supports batching. The delivered sequence is exactly what
+// repeated s.Next() calls would return.
+func (c *Core) nextOp(s Stream) (Op, bool) {
+	if c.bi < c.bn {
+		op := c.batch[c.bi]
+		c.bi++
+		return op, true
+	}
+	if s != c.bsrc {
+		c.bsrc = s
+		c.bs, _ = s.(BatchStream)
+		c.bi, c.bn = 0, 0
+	}
+	if c.bs == nil {
+		return s.Next()
+	}
+	if c.batch == nil {
+		c.batch = make([]Op, batchSize)
+	}
+	c.bn = c.bs.NextBatch(c.batch)
+	if c.bn == 0 {
+		return Op{}, false
+	}
+	c.bi = 1
+	return c.batch[0], true
+}
+
 // Run executes up to maxInstr instructions from stream (or until the
 // stream ends), returning the instructions actually retired.
 func (c *Core) Run(stream Stream, maxInstr uint64) uint64 {
+	c.prepare()
 	start := c.instret
 	for c.instret-start < maxInstr {
-		op, ok := stream.Next()
+		op, ok := c.nextOp(stream)
 		if !ok {
 			break
 		}
@@ -212,6 +292,7 @@ func (r *Runner) RunInstr(perCore uint64) {
 	done := make([]bool, len(r.Cores))
 	for i, c := range r.Cores {
 		targets[i] = c.Instret() + perCore
+		c.prepare()
 	}
 	for {
 		allDone := true
@@ -237,7 +318,7 @@ func (r *Runner) RunInstr(perCore uint64) {
 				continue
 			}
 			for c.cycle < horizon && c.instret < targets[i] {
-				op, ok := r.Streams[i].Next()
+				op, ok := c.nextOp(r.Streams[i])
 				if !ok {
 					done[i] = true
 					break

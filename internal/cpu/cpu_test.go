@@ -240,6 +240,149 @@ func TestRunnerHandlesExhaustedStreams(t *testing.T) {
 	}
 }
 
+// nextOnly hides a stream's NextBatch so a Core is forced down the
+// unbatched path, for batched-vs-unbatched equivalence tests.
+type nextOnly struct{ s Stream }
+
+func (n nextOnly) Next() (Op, bool) { return n.s.Next() }
+
+// mixedOps builds a deterministic op sequence touching loads, stores,
+// and computes over a working set big enough to miss in L1.
+func mixedOps(n int) []Op {
+	rng := sim.DeriveRand(0xBA7C, "cpu-batch-equiv")
+	ops := make([]Op, n)
+	for i := range ops {
+		switch rng.Intn(4) {
+		case 0:
+			ops[i] = Op{Kind: Compute, N: uint32(1 + rng.Intn(8))}
+		case 1:
+			ops[i] = Op{Kind: Store, Addr: mem.Addr(rng.Uint64() % (256 << 10))}
+		default:
+			ops[i] = Op{Kind: Load, Addr: mem.Addr(rng.Uint64() % (256 << 10))}
+		}
+	}
+	return ops
+}
+
+// TestNextBatchMatchesNext pins the BatchStream contract on SliceStream:
+// batched delivery (at any buffer size) is the exact Next sequence.
+func TestNextBatchMatchesNext(t *testing.T) {
+	ops := mixedOps(500)
+	for _, bufSize := range []int{1, 3, 64, 1000} {
+		ref := &SliceStream{Ops: ops}
+		bat := &SliceStream{Ops: ops}
+		buf := make([]Op, bufSize)
+		var got []Op
+		for {
+			n := bat.NextBatch(buf)
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		for i := 0; ; i++ {
+			op, ok := ref.Next()
+			if !ok {
+				if i != len(got) {
+					t.Fatalf("buf %d: batch delivered %d ops, Next delivered %d", bufSize, len(got), i)
+				}
+				break
+			}
+			if i >= len(got) || got[i] != op {
+				t.Fatalf("buf %d: op %d diverges", bufSize, i)
+			}
+		}
+	}
+}
+
+// TestRunBatchedMatchesUnbatched runs the identical stream through a
+// batching Core and a Core whose stream hides NextBatch, across multiple
+// Run calls (so the prefetch stash must survive a warmup/measure split),
+// asserting identical retired-instruction and cycle counts.
+func TestRunBatchedMatchesUnbatched(t *testing.T) {
+	ops := mixedOps(4000)
+	mk := func() *Core {
+		return &Core{L1: newL1(t), L2: newL2(t, cache.Static, 2, 256<<10), Lat: DefaultLatencies()}
+	}
+	batched, plain := mk(), mk()
+	bs, ps := &SliceStream{Ops: ops}, nextOnly{&SliceStream{Ops: ops}}
+	// Split the run at an instruction count that lands mid-batch.
+	for _, chunk := range []uint64{37, 963, 100000} {
+		batched.Run(bs, chunk)
+		plain.Run(ps, chunk)
+		if batched.Instret() != plain.Instret() || batched.Cycle() != plain.Cycle() {
+			t.Fatalf("after chunk %d: batched (instret %d, cycle %d) != plain (instret %d, cycle %d)",
+				chunk, batched.Instret(), batched.Cycle(), plain.Instret(), plain.Cycle())
+		}
+	}
+	if bs.i != len(ops) {
+		t.Fatalf("consumed %d of %d ops", bs.i, len(ops))
+	}
+}
+
+// TestRunnerBatchedMatchesUnbatched repeats the equivalence under the
+// Runner's quantum-horizon interleaving with a shared L2 and bus, where
+// any lookahead-induced reordering across cores would shift cycle
+// counts.
+func TestRunnerBatchedMatchesUnbatched(t *testing.T) {
+	opsA, opsB := mixedOps(3000), mixedOps(3000)
+	run := func(batch bool) (uint64, uint64, uint64, uint64) {
+		l2 := newL2(t, cache.Shared, 2, 128<<10)
+		tr := bus.NewTracker(bus.NewFIFO(), 2)
+		lat := DefaultLatencies()
+		a := &Core{Domain: 0, L1: newL1(t), L2: l2, Bus: tr, Lat: lat}
+		b := &Core{Domain: 1, L1: newL1(t), L2: l2, Bus: tr, Lat: lat}
+		var sa, sb Stream = &SliceStream{Ops: opsA}, &SliceStream{Ops: opsB}
+		if !batch {
+			sa, sb = nextOnly{sa}, nextOnly{sb}
+		}
+		r := &Runner{Cores: []*Core{a, b}, Streams: []Stream{sa, sb}, Quantum: 100}
+		r.RunInstr(1000) // warmup
+		a.ResetCounters()
+		b.ResetCounters()
+		r.RunInstr(1500)
+		return a.Instret(), a.Cycle(), b.Instret(), b.Cycle()
+	}
+	ai, ac, bi, bc := run(true)
+	pai, pac, pbi, pbc := run(false)
+	if ai != pai || ac != pac || bi != pbi || bc != pbc {
+		t.Fatalf("batched (%d,%d,%d,%d) != unbatched (%d,%d,%d,%d)",
+			ai, ac, bi, bc, pai, pac, pbi, pbc)
+	}
+}
+
+// TestStepDoesNotAllocate pins the steady-state Step path (L1+L2+bus
+// attached) at zero allocations per instruction.
+func TestStepDoesNotAllocate(t *testing.T) {
+	c := &Core{
+		L1: newL1(t), L2: newL2(t, cache.Static, 2, 128<<10),
+		Bus: bus.NewTracker(bus.NewFIFO(), 2), Lat: DefaultLatencies(),
+	}
+	ops := mixedOps(256)
+	i := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Step(ops[i%len(ops)])
+		i++
+	}); avg != 0 {
+		t.Errorf("Step allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestRunDoesNotAllocate pins the batched Run path at zero steady-state
+// allocations: the prefetch buffer is allocated once on first use and
+// reused afterwards.
+func TestRunDoesNotAllocate(t *testing.T) {
+	c := &Core{L1: newL1(t), L2: newL2(t, cache.Static, 2, 128<<10), Lat: DefaultLatencies()}
+	s := &SliceStream{Ops: mixedOps(4096)}
+	c.Run(s, 64) // warm the stash buffer
+	if avg := testing.AllocsPerRun(100, func() {
+		s.i = 0
+		c.Run(s, 32)
+	}); avg != 0 {
+		t.Errorf("Run allocates %.1f times per call, want 0", avg)
+	}
+}
+
 func TestIPCZeroBeforeRun(t *testing.T) {
 	c := &Core{Lat: DefaultLatencies()}
 	if c.IPC() != 0 {

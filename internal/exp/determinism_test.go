@@ -51,6 +51,12 @@ func renderAll(t *testing.T, workers int) string {
 	}
 	b.WriteString(RenderFig5("fig5b", rows5b).String())
 
+	rows5d, err := r.Figure5Devices(smallFig5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(RenderFig5Dev(rows5d).String())
+
 	rows6, err := r.Figure6()
 	if err != nil {
 		t.Fatal(err)

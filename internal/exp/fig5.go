@@ -11,7 +11,6 @@ import (
 	"snic/internal/nf"
 	"snic/internal/obs"
 	"snic/internal/sim"
-	"snic/internal/trace"
 )
 
 // Fig5Config sizes the §5.3 co-tenancy simulation. Zero values pick
@@ -67,69 +66,77 @@ type Fig5Row struct {
 // and the bus tracker report per-domain counters under
 // "<scope>/<policy>" so the two configurations stay distinguishable.
 func colocation(cfg Fig5Config, reg *obs.Registry, scope string, names []string, l2Size uint64) (base, snicIPC []float64, err error) {
-	run := func(policy cache.Policy, arb func(int) bus.Arbiter) ([]float64, error) {
-		n := len(names)
-		l2cfg := cache.Config{
-			Name: "L2", Size: l2Size, LineSize: 64, Ways: 16,
-			Policy: policy, Domains: n,
-		}
-		if policy == cache.Static && l2cfg.Ways < n {
-			l2cfg.Ways = n // keep at least one way per domain at high co-tenancy
-		}
-		l2, err := cache.New(l2cfg)
-		if err != nil {
-			return nil, err
-		}
-		tr := bus.NewTracker(arb(n), n)
-		if reg != nil {
-			device := scope + "/" + policy.String()
-			l2.Observe(reg, device)
-			tr.Observe(reg, device)
-		}
-		lat := cpu.DefaultLatencies()
-		rng := sim.NewRand(cfg.Seed)
-		pool := trace.NewICTF(rng.Fork(), cfg.PoolFlows)
-		cores := make([]*cpu.Core, n)
-		streams := make([]cpu.Stream, n)
-		for i, name := range names {
-			f, err := nf.New(name, cfg.Suite)
-			if err != nil {
-				return nil, err
-			}
-			l1, err := cache.New(cache.Config{
-				Name: "L1", Size: 32 << 10, LineSize: 64, Ways: 4,
-				Policy: cache.Shared, Domains: 1,
-			})
-			if err != nil {
-				return nil, err
-			}
-			cores[i] = &cpu.Core{Domain: i, L1: l1, L2: l2, Bus: tr, Lat: lat}
-			streams[i] = f.NewStream(sim.NewRand(cfg.Seed+uint64(i)+1), pool, mem.Addr(i+1)<<32)
-		}
-		r := &cpu.Runner{Cores: cores, Streams: streams}
-		r.RunInstr(cfg.WarmupInstr)
-		for _, c := range cores {
-			c.ResetCounters()
-		}
-		r.RunInstr(cfg.MeasureInstr)
-		ipcs := make([]float64, n)
-		for i, c := range cores {
-			ipcs[i] = c.IPC()
-		}
-		return ipcs, nil
-	}
-	base, err = run(cache.Shared, func(int) bus.Arbiter { return bus.NewFIFO() })
+	base, err = runGroup(cfg, reg, scope+"/"+cache.Shared.String(), names, l2Size,
+		cache.Shared, func(int) bus.Arbiter { return bus.NewFIFO() })
 	if err != nil {
 		return nil, nil, err
 	}
-	snicIPC, err = run(cache.Static, func(n int) bus.Arbiter {
-		// Epoch sized so one DRAM transaction fits the dead time.
-		return bus.NewTemporal(n, 60, 10)
-	})
+	snicIPC, err = runGroup(cfg, reg, scope+"/"+cache.Static.String(), names, l2Size,
+		cache.Static, func(n int) bus.Arbiter {
+			// Epoch sized so one DRAM transaction fits the dead time.
+			return bus.NewTemporal(n, 60, 10)
+		})
 	if err != nil {
 		return nil, nil, err
 	}
 	return base, snicIPC, nil
+}
+
+// runGroup simulates one co-located NF group under one cache policy and
+// bus arbiter, returning each NF's measured IPC. device labels the
+// metric scope when a collector is attached. NF models and the workload
+// pool come from the process-wide memo caches (see memo.go); every run
+// still gets private L1s, a private L2, fresh per-stream RNGs, and a
+// fresh pool instantiation, so runs never share mutable state.
+func runGroup(cfg Fig5Config, reg *obs.Registry, device string, names []string, l2Size uint64,
+	policy cache.Policy, arb func(int) bus.Arbiter) ([]float64, error) {
+	n := len(names)
+	l2cfg := cache.Config{
+		Name: "L2", Size: l2Size, LineSize: 64, Ways: 16,
+		Policy: policy, Domains: n,
+	}
+	if policy == cache.Static && l2cfg.Ways < n {
+		l2cfg.Ways = n // keep at least one way per domain at high co-tenancy
+	}
+	l2, err := cache.New(l2cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr := bus.NewTracker(arb(n), n)
+	if reg != nil {
+		l2.Observe(reg, device)
+		tr.Observe(reg, device)
+	}
+	lat := cpu.DefaultLatencies()
+	pool := ictfPool(cfg.Seed, cfg.PoolFlows)
+	cores := make([]*cpu.Core, n)
+	streams := make([]cpu.Stream, n)
+	for i, name := range names {
+		f, err := suiteNF(name, cfg.Suite)
+		if err != nil {
+			return nil, err
+		}
+		l1, err := cache.New(cache.Config{
+			Name: "L1", Size: 32 << 10, LineSize: 64, Ways: 4,
+			Policy: cache.Shared, Domains: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cores[i] = &cpu.Core{Domain: i, L1: l1, L2: l2, Bus: tr, Lat: lat}
+		streams[i] = f.NewStream(sim.NewRand(cfg.Seed+uint64(i)+1), pool, mem.Addr(i+1)<<32)
+	}
+	r := &cpu.Runner{Cores: cores, Streams: streams}
+	r.RunInstr(cfg.WarmupInstr)
+	for _, c := range cores {
+		c.ResetCounters()
+	}
+	r.RunInstr(cfg.MeasureInstr)
+	ipcs := make([]float64, n)
+	for i, c := range cores {
+		ipcs[i] = c.IPC()
+	}
+	return ipcs, nil
 }
 
 // degradation converts IPC pairs to percent slowdown (clamped at 0: the

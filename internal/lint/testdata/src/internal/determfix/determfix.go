@@ -5,6 +5,8 @@ package determfix
 import (
 	"math/rand"
 	"time"
+
+	"snic/internal/memo"
 )
 
 // Elapsed trips all three forbidden forms.
@@ -17,3 +19,17 @@ func Elapsed() time.Duration {
 // Budget shows that plain time.Duration arithmetic stays legal: only
 // the wall-clock entry points are forbidden.
 func Budget(d time.Duration) time.Duration { return 2 * d }
+
+// memoCache demonstrates the check reaching inside a memo.Cache build
+// closure: memoizing a nondeterministic build would freeze one
+// wall-clock read into every later hit, which is worse than calling it
+// each time — so build funcs are simulation path like any other code
+// and must stay pure functions of the key.
+var memoCache memo.Cache[string, int64]
+
+// Memoized trips the check from within the build closure.
+func Memoized() int64 {
+	return memoCache.Get("now", func() int64 {
+		return time.Now().UnixNano()
+	})
+}

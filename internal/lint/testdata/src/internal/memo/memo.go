@@ -1,0 +1,29 @@
+// Package memo is the fixture stub of snic/internal/memo: the same
+// build-once Cache API, present so the determfix fixture can demonstrate
+// that the determinism check reaches inside memoized build closures. The
+// stub itself is clean — a cache is only as deterministic as what it is
+// asked to build.
+package memo
+
+import "sync"
+
+type entry[V any] struct {
+	once sync.Once
+	v    V
+}
+
+// Cache mirrors the real build-once cache's API.
+type Cache[K comparable, V any] struct {
+	m sync.Map
+}
+
+// Get returns the value for key, invoking build at most once per key.
+func (c *Cache[K, V]) Get(key K, build func() V) V {
+	e, ok := c.m.Load(key)
+	if !ok {
+		e, _ = c.m.LoadOrStore(key, new(entry[V]))
+	}
+	en := e.(*entry[V])
+	en.once.Do(func() { en.v = build() })
+	return en.v
+}

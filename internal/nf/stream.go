@@ -54,13 +54,10 @@ func newPktStream(rng *sim.Rand, pool *trace.Pool, base mem.Addr, cost costFn) *
 	}
 }
 
-// Next implements cpu.Stream.
-func (s *pktStream) Next() (cpu.Op, bool) {
-	if s.qi < len(s.queue) {
-		op := s.queue[s.qi]
-		s.qi++
-		return op, true
-	}
+// refill regenerates the op queue for the next packet. One packet's RNG
+// draws happen atomically here, so batch and single-op consumers observe
+// the same draw order.
+func (s *pktStream) refill() {
 	s.queue = s.queue[:0]
 	s.qi = 0
 	flow := s.pool.NextFlow()
@@ -87,10 +84,31 @@ func (s *pktStream) Next() (cpu.Op, bool) {
 	}
 	// Egress: write the rewritten header back to the packet buffer.
 	s.queue = append(s.queue, cpu.Op{Kind: cpu.Store, Addr: slot})
+}
 
-	op := s.queue[0]
-	s.qi = 1
+// Next implements cpu.Stream.
+func (s *pktStream) Next() (cpu.Op, bool) {
+	if s.qi >= len(s.queue) {
+		s.refill()
+	}
+	op := s.queue[s.qi]
+	s.qi++
 	return op, true
+}
+
+// NextBatch implements cpu.BatchStream. It hands out at most the rest
+// of the current packet: the workload pool is shared between co-located
+// streams, so drawing the next packet's flow any earlier than Next would
+// (i.e. before the current packet is consumed) would reorder the pool's
+// RNG draws across cores and change the simulation. One packet per call
+// still amortizes the per-op interface call across the packet's ops.
+func (s *pktStream) NextBatch(buf []cpu.Op) int {
+	if s.qi >= len(s.queue) {
+		s.refill()
+	}
+	n := copy(buf, s.queue[s.qi:])
+	s.qi += n
+	return n
 }
 
 // flowOffset spreads a flow's state across a region of the given size,

@@ -1,0 +1,89 @@
+package nf
+
+import (
+	"testing"
+
+	"snic/internal/cpu"
+	"snic/internal/mem"
+	"snic/internal/sim"
+	"snic/internal/trace"
+)
+
+// TestPktStreamNextBatchMatchesNext drives two identically-seeded
+// packet streams — one through Next, one through NextBatch at awkward
+// buffer sizes — and demands the exact same op sequence. Each stream
+// gets its own pool built from the same seed, because the pool's RNG
+// draws are part of the sequence under test: batching must not move a
+// packet's flow draw earlier or later than Next would.
+func TestPktStreamNextBatchMatchesNext(t *testing.T) {
+	for _, name := range Names {
+		t.Run(name, func(t *testing.T) {
+			cfg := SuiteConfig{Seed: 7}
+			cfg.defaults()
+			mkStream := func() cpu.Stream {
+				f, err := New(name, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pool := trace.NewICTF(sim.NewRand(99), 2000)
+				return f.NewStream(sim.NewRand(3), pool, mem.Addr(1)<<32)
+			}
+			ref := mkStream()
+			bat, ok := mkStream().(cpu.BatchStream)
+			if !ok {
+				t.Fatalf("%s stream does not implement cpu.BatchStream", name)
+			}
+			buf := make([]cpu.Op, 5) // smaller than most packets' op count
+			var stash []cpu.Op
+			for i := 0; i < 5000; i++ {
+				if len(stash) == 0 {
+					n := bat.NextBatch(buf)
+					if n == 0 {
+						t.Fatalf("op %d: NextBatch returned 0 from an infinite stream", i)
+					}
+					stash = append(stash, buf[:n]...)
+				}
+				want, ok := ref.Next()
+				if !ok {
+					t.Fatalf("op %d: Next ended on an infinite stream", i)
+				}
+				if got := stash[0]; got != want {
+					t.Fatalf("%s op %d: batch %+v != next %+v", name, i, got, want)
+				}
+				stash = stash[1:]
+			}
+		})
+	}
+}
+
+// TestPktStreamBatchStopsAtPacketBoundary pins the shared-pool safety
+// property the batch path relies on: one NextBatch call never spans a
+// packet boundary, so the pool's next flow draw happens no earlier than
+// it would under Next.
+func TestPktStreamBatchStopsAtPacketBoundary(t *testing.T) {
+	cfg := SuiteConfig{Seed: 7}
+	cfg.defaults()
+	f, err := New("FW", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := trace.NewICTF(sim.NewRand(99), 2000)
+	s, ok := f.NewStream(sim.NewRand(3), pool, mem.Addr(1)<<32).(*pktStream)
+	if !ok {
+		t.Fatal("Firewall stream is not a pktStream")
+	}
+	buf := make([]cpu.Op, 4096) // far larger than any packet's op count
+	for i := 0; i < 200; i++ {
+		n := s.NextBatch(buf)
+		if n == 0 {
+			t.Fatal("NextBatch returned 0")
+		}
+		if s.qi != len(s.queue) {
+			t.Fatalf("call %d: batch of %d left %d ops of the packet behind",
+				i, n, len(s.queue)-s.qi)
+		}
+		if n == len(buf) {
+			t.Fatalf("call %d: batch filled the whole %d-op buffer: packet boundary ignored", i, n)
+		}
+	}
+}

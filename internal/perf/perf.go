@@ -1,0 +1,268 @@
+// Package perf records and compares benchmark results. It parses the
+// text output of `go test -bench -benchmem` into a stable JSON summary
+// (the committed BENCH_<pr>.json trajectory files) and diffs two
+// summaries with a regression threshold, so a perf PR carries its own
+// before/after evidence and CI can refuse silent slowdowns.
+//
+// File format, version 1:
+//
+//	{
+//	  "snicperf": 1,
+//	  "pr": 5,
+//	  "sections": {
+//	    "baseline": { "goos": ..., "benchmarks": [ ... ] },
+//	    "post":     { ... }
+//	  }
+//	}
+//
+// A file holds named sections; by convention a perf PR commits the
+// pre-change run as "baseline" and the post-change run as "post". When
+// comparing two different files (the cross-PR trajectory), "post" is
+// each file's representative section.
+package perf
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Version is the file-format version written by this package.
+const Version = 1
+
+// Benchmark is one parsed benchmark line. Metrics holds the custom
+// b.ReportMetric units (e.g. "pct-degr-4NF") beyond the standard three.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs,omitempty"`
+	Runs        int64              `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	MBPerS      float64            `json:"mb_per_s,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Summary is one recorded `go test -bench` run.
+type Summary struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the committed BENCH_<pr>.json shape: named sections of one
+// summary each.
+type File struct {
+	Snicperf int                 `json:"snicperf"`
+	PR       int                 `json:"pr,omitempty"`
+	Sections map[string]*Summary `json:"sections"`
+}
+
+// ParseBench reads `go test -bench [-benchmem]` text output and returns
+// the summary. Non-benchmark lines (goos/goarch/pkg/cpu headers, PASS,
+// ok) are recognised or skipped; a benchmark that appears more than
+// once (-count) keeps its last result. It is an error if no benchmark
+// lines are found.
+func ParseBench(r io.Reader) (*Summary, error) {
+	s := &Summary{}
+	index := map[string]int{} // name -> position in s.Benchmarks
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			s.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			s.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			s.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			s.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				continue // a Benchmark* line without measurements
+			}
+			if i, ok := index[b.Name]; ok {
+				s.Benchmarks[i] = *b
+			} else {
+				index[b.Name] = len(s.Benchmarks)
+				s.Benchmarks = append(s.Benchmarks, *b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found (expected `go test -bench` output)")
+	}
+	return s, nil
+}
+
+// parseLine parses one "BenchmarkName-P  N  V unit  V unit ..." line.
+func parseLine(line string) (*Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return nil, nil
+	}
+	b := &Benchmark{Name: fields[0]}
+	// Split the trailing -<procs> GOMAXPROCS suffix off the name.
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	b.Name = strings.TrimPrefix(b.Name, "Benchmark")
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad iteration count in %q: %v", line, err)
+	}
+	b.Runs = runs
+	// The rest is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q in %q: %v", fields[i], line, err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		case "MB/s":
+			b.MBPerS = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, nil
+}
+
+// ReadFile decodes a BENCH_<pr>.json document.
+func ReadFile(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, err
+	}
+	if f.Snicperf != Version {
+		return nil, fmt.Errorf("unsupported snicperf file version %d (want %d)", f.Snicperf, Version)
+	}
+	if len(f.Sections) == 0 {
+		return nil, fmt.Errorf("file has no sections")
+	}
+	return &f, nil
+}
+
+// Marshal renders a file as indented JSON. encoding/json sorts map keys,
+// so the output is deterministic for a given content.
+func (f *File) Marshal() ([]byte, error) {
+	f.Snicperf = Version
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Section returns the summary to use when a file stands for one run:
+// the named section if given, else "post", else the only section. An
+// empty name with several sections and no "post" is ambiguous.
+func (f *File) Section(name string) (*Summary, error) {
+	if name != "" {
+		s := f.Sections[name]
+		if s == nil {
+			return nil, fmt.Errorf("no section %q (have %s)", name, strings.Join(f.sectionNames(), ", "))
+		}
+		return s, nil
+	}
+	if s := f.Sections["post"]; s != nil {
+		return s, nil
+	}
+	if len(f.Sections) == 1 {
+		for _, s := range f.Sections {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("ambiguous file: sections %s and no \"post\"; pick one with -section", strings.Join(f.sectionNames(), ", "))
+}
+
+func (f *File) sectionNames() []string {
+	names := make([]string, 0, len(f.Sections))
+	for n := range f.Sections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Delta pairs one benchmark's old and new results; either side may be
+// nil when the benchmark exists on only one side.
+type Delta struct {
+	Name     string
+	Old, New *Benchmark
+}
+
+// Ratio returns new/old ns/op (1.0 = unchanged; <1 = faster). It is 0
+// when either side is missing or old is zero.
+func (d Delta) Ratio() float64 {
+	if d.Old == nil || d.New == nil || d.Old.NsPerOp == 0 {
+		return 0
+	}
+	return d.New.NsPerOp / d.Old.NsPerOp
+}
+
+// Diff joins two summaries by benchmark name, sorted.
+func Diff(old, new *Summary) []Delta {
+	byName := map[string]*Delta{}
+	for i := range old.Benchmarks {
+		b := &old.Benchmarks[i]
+		byName[b.Name] = &Delta{Name: b.Name, Old: b}
+	}
+	for i := range new.Benchmarks {
+		b := &new.Benchmarks[i]
+		if d, ok := byName[b.Name]; ok {
+			d.New = b
+		} else {
+			byName[b.Name] = &Delta{Name: b.Name, New: b}
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Delta, len(names))
+	for i, n := range names {
+		out[i] = *byName[n]
+	}
+	return out
+}
+
+// Regressions counts deltas whose ns/op grew by more than thresholdPct
+// percent. Benchmarks present on only one side never count.
+func Regressions(deltas []Delta, thresholdPct float64) int {
+	n := 0
+	for _, d := range deltas {
+		if r := d.Ratio(); r > 0 && r > 1+thresholdPct/100 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,160 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: snic
+cpu: Fake CPU @ 2.0GHz
+BenchmarkFigure5aCacheSweep-8         	       2	 512345678 ns/op	        12.34 pct-degr-2NF-4MB	41234567 B/op	  123456 allocs/op
+BenchmarkFigure6InstructionLatency-8  	     100	  10123456 ns/op	        0.4550 Mon-launch-SHA-ms	  204800 B/op	    2048 allocs/op
+BenchmarkEngineFigure5b/4workers-8    	       1	1934567890 ns/op	       3 gomaxprocs	98765432 B/op	  765432 allocs/op
+PASS
+ok  	snic	12.345s
+`
+
+func parseSample(t *testing.T) *Summary {
+	t.Helper()
+	s, err := ParseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseBench(t *testing.T) {
+	s := parseSample(t)
+	if s.GOOS != "linux" || s.GOARCH != "amd64" || s.Pkg != "snic" || s.CPU != "Fake CPU @ 2.0GHz" {
+		t.Errorf("header mis-parsed: %+v", s)
+	}
+	if len(s.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(s.Benchmarks))
+	}
+	b := s.Benchmarks[0]
+	if b.Name != "Figure5aCacheSweep" || b.Procs != 8 || b.Runs != 2 {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	if b.NsPerOp != 512345678 || b.BPerOp != 41234567 || b.AllocsPerOp != 123456 {
+		t.Errorf("std units mis-parsed: %+v", b)
+	}
+	if b.Metrics["pct-degr-2NF-4MB"] != 12.34 {
+		t.Errorf("custom metric mis-parsed: %v", b.Metrics)
+	}
+	if sub := s.Benchmarks[2]; sub.Name != "EngineFigure5b/4workers" {
+		t.Errorf("sub-benchmark name = %q", sub.Name)
+	}
+}
+
+func TestParseBenchRepeatKeepsLast(t *testing.T) {
+	two := "BenchmarkX-4 10 100 ns/op\nBenchmarkX-4 20 90 ns/op\n"
+	s, err := ParseBench(strings.NewReader(two))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 1 || s.Benchmarks[0].NsPerOp != 90 {
+		t.Fatalf("repeat handling: %+v", s.Benchmarks)
+	}
+}
+
+func TestParseBenchEmptyIsError(t *testing.T) {
+	if _, err := ParseBench(strings.NewReader("PASS\nok snic 1s\n")); err == nil {
+		t.Fatal("no benchmarks accepted")
+	}
+}
+
+func TestFileRoundtrip(t *testing.T) {
+	s := parseSample(t)
+	f := &File{PR: 5, Sections: map[string]*Summary{"baseline": s, "post": s}}
+	data, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PR != 5 || len(got.Sections) != 2 {
+		t.Fatalf("roundtrip lost data: %+v", got)
+	}
+	if got.Sections["post"].Benchmarks[0].Metrics["pct-degr-2NF-4MB"] != 12.34 {
+		t.Error("metrics lost in roundtrip")
+	}
+	// Marshal is deterministic: same content, same bytes.
+	data2, err := got.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("marshal not deterministic")
+	}
+}
+
+func TestSectionSelection(t *testing.T) {
+	s := parseSample(t)
+	f := &File{Sections: map[string]*Summary{"post": s, "baseline": s}}
+	if _, err := f.Section(""); err != nil {
+		t.Errorf("default to post: %v", err)
+	}
+	if _, err := f.Section("baseline"); err != nil {
+		t.Errorf("named section: %v", err)
+	}
+	if _, err := f.Section("nope"); err == nil {
+		t.Error("unknown section accepted")
+	}
+	only := &File{Sections: map[string]*Summary{"smoke": s}}
+	if _, err := only.Section(""); err != nil {
+		t.Errorf("single section should be unambiguous: %v", err)
+	}
+	two := &File{Sections: map[string]*Summary{"a": s, "b": s}}
+	if _, err := two.Section(""); err == nil {
+		t.Error("ambiguous sections accepted")
+	}
+}
+
+func mkSummary(pairs ...interface{}) *Summary {
+	s := &Summary{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		s.Benchmarks = append(s.Benchmarks, Benchmark{
+			Name: pairs[i].(string), Runs: 1, NsPerOp: pairs[i+1].(float64), AllocsPerOp: 7,
+		})
+	}
+	return s
+}
+
+func TestDiffAndRegressions(t *testing.T) {
+	old := mkSummary("A", 100.0, "B", 100.0, "Gone", 50.0)
+	cur := mkSummary("A", 50.0, "B", 130.0, "New", 10.0)
+	deltas := Diff(old, cur)
+	if len(deltas) != 4 {
+		t.Fatalf("%d deltas, want 4 (union)", len(deltas))
+	}
+	// Sorted by name: A, B, Gone, New.
+	if deltas[0].Name != "A" || deltas[0].Ratio() != 0.5 {
+		t.Errorf("A delta: %+v ratio %v", deltas[0], deltas[0].Ratio())
+	}
+	if deltas[2].New != nil || deltas[3].Old != nil {
+		t.Errorf("one-sided deltas mis-joined: %+v %+v", deltas[2], deltas[3])
+	}
+	if n := Regressions(deltas, 10); n != 1 {
+		t.Errorf("Regressions(10%%) = %d, want 1 (only B)", n)
+	}
+	if n := Regressions(deltas, 50); n != 0 {
+		t.Errorf("Regressions(50%%) = %d, want 0", n)
+	}
+
+	text := RenderDiff(deltas, 10)
+	for _, want := range []string{"A", "-50.0%", "+30.0% !", "new", "gone"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("RenderDiff missing %q in:\n%s", want, text)
+		}
+	}
+	// Self-diff: no regressions, all zero deltas.
+	self := Diff(cur, cur)
+	if n := Regressions(self, 0); n != 0 {
+		t.Errorf("self-diff regressions = %d", n)
+	}
+}

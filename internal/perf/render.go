@@ -1,0 +1,48 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// RenderDiff formats a delta list as an aligned table: ns/op, the
+// old/new ratio (delta percent), and allocs/op movement. Benchmarks on
+// one side only are marked new/gone. Rows whose ns/op regressed beyond
+// thresholdPct are flagged with a trailing '!'.
+func RenderDiff(deltas []Delta, thresholdPct float64) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs\t")
+	for _, d := range deltas {
+		switch {
+		case d.Old == nil:
+			fmt.Fprintf(w, "%s\t-\t%s\tnew\t-\t%s\t\n", d.Name, ns(d.New.NsPerOp), allocs(d.New))
+		case d.New == nil:
+			fmt.Fprintf(w, "%s\t%s\t-\tgone\t%s\t-\t\n", d.Name, ns(d.Old.NsPerOp), allocs(d.Old))
+		default:
+			flag := ""
+			if r := d.Ratio(); r > 0 && r > 1+thresholdPct/100 {
+				flag = " !"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%+.1f%%%s\t%s\t%s\t\n",
+				d.Name, ns(d.Old.NsPerOp), ns(d.New.NsPerOp),
+				(d.Ratio()-1)*100, flag, allocs(d.Old), allocs(d.New))
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// ns prints a ns/op value the way `go test -bench` does: integers for
+// whole values, two decimals otherwise.
+func ns(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func allocs(b *Benchmark) string {
+	return fmt.Sprintf("%d", int64(b.AllocsPerOp))
+}

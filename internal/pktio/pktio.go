@@ -275,7 +275,10 @@ func (v *VPP) push(pm *mem.Physical, frame []byte) error {
 		off += chunk
 	}
 	v.queue = append(v.queue, Descriptor{VA: va, Len: len(frame)})
-	v.head = (v.head + 1) % v.slots
+	v.head++
+	if v.head == v.slots {
+		v.head = 0
+	}
 	v.Delivered++
 	if v.obsRxPkts != nil {
 		v.obsRxPkts.Inc()

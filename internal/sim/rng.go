@@ -86,15 +86,21 @@ func (r *Rand) Bytes(b []byte) {
 	}
 }
 
-// Fork derives an independent generator from r's stream, so components can
-// be given decorrelated sub-streams without sharing mutable state.
-func (r *Rand) Fork() *Rand {
+// ForkSeed draws the seed a Fork call would use, without building the
+// child generator. It lets callers capture a fork point as a plain
+// uint64 (e.g. to rebuild the identical child stream later) while
+// consuming exactly one draw from r, the same as Fork.
+func (r *Rand) ForkSeed() uint64 {
 	// SplitMix64 step over a fresh draw decorrelates the child stream.
 	z := r.Uint64() + 0x9E3779B97F4A7C15
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return NewRand(z ^ (z >> 31))
+	return z ^ (z >> 31)
 }
+
+// Fork derives an independent generator from r's stream, so components can
+// be given decorrelated sub-streams without sharing mutable state.
+func (r *Rand) Fork() *Rand { return NewRand(r.ForkSeed()) }
 
 // DeriveSeed hashes a base seed plus a list of labels — conventionally
 // (experiment, jobKey) — into a stable 64-bit seed. Unlike Fork, the

@@ -33,6 +33,12 @@ func NewZipf(rng *Rand, n int, s float64) *Zipf {
 	return &Zipf{cdf: cdf, rng: rng}
 }
 
+// WithRand returns a sampler that shares z's (immutable) CDF but draws
+// from rng. The CDF is the expensive part — O(n) math.Pow calls — so
+// memoized workload pools build it once and stamp out per-run samplers
+// with this method.
+func (z *Zipf) WithRand(rng *Rand) *Zipf { return &Zipf{cdf: z.cdf, rng: rng} }
+
 // N returns the number of ranks.
 func (z *Zipf) N() int { return len(z.cdf) }
 

@@ -27,6 +27,27 @@ type Pool struct {
 
 // NewPool creates n random flows with Zipf(skew) popularity.
 func NewPool(rng *sim.Rand, n int, skew float64) *Pool {
+	return NewPoolTemplate(rng, n, skew).Pool()
+}
+
+// PoolTemplate is the expensive, immutable part of a Pool — the flow set
+// and the Zipf CDF — captured together with the seeds of the sampler and
+// payload streams. Building a template costs the same as NewPool, but
+// Pool() then stamps out independent, identically-seeded Pools in O(1):
+// the flows slice and CDF are shared read-only while each Pool gets its
+// own mutable RNGs. The experiment harness memoizes templates per
+// (seed, size) so repeated sweep points stop rebuilding identical pools.
+type PoolTemplate struct {
+	flows    []pkt.FiveTuple
+	zipf     *sim.Zipf // template sampler; every Pool re-arms it WithRand
+	zipfSeed uint64
+	rngSeed  uint64
+}
+
+// NewPoolTemplate builds the template with exactly NewPool's derivation:
+// the flow loop consumes rng first, then the sampler and payload seeds
+// are forked in the same order NewPool forks its sub-streams.
+func NewPoolTemplate(rng *sim.Rand, n int, skew float64) *PoolTemplate {
 	flows := make([]pkt.FiveTuple, n)
 	seen := make(map[[16]byte]bool, n)
 	for i := range flows {
@@ -40,16 +61,44 @@ func NewPool(rng *sim.Rand, n int, skew float64) *Pool {
 			}
 		}
 	}
-	return &Pool{flows: flows, zipf: sim.NewZipf(rng.Fork(), n, skew), rng: rng.Fork()}
+	zipfSeed := rng.ForkSeed()
+	rngSeed := rng.ForkSeed()
+	return &PoolTemplate{
+		flows:    flows,
+		zipf:     sim.NewZipf(sim.NewRand(zipfSeed), n, skew),
+		zipfSeed: zipfSeed,
+		rngSeed:  rngSeed,
+	}
+}
+
+// NumFlows returns the template's pool size.
+func (t *PoolTemplate) NumFlows() int { return len(t.flows) }
+
+// Pool instantiates a fresh Pool from the template. Every call returns a
+// Pool whose sampling and payload streams start from the same seeds, so
+// all instances are byte-identical to each other and to the Pool that
+// NewPool(rng, n, skew) would have built from the template's rng.
+func (t *PoolTemplate) Pool() *Pool {
+	return &Pool{
+		flows: t.flows,
+		zipf:  t.zipf.WithRand(sim.NewRand(t.zipfSeed)),
+		rng:   sim.NewRand(t.rngSeed),
+	}
 }
 
 // NewICTF builds the paper's ICTF-like pool: 100 k flows, skew 1.1.
 // Pass a smaller n to scale the experiment down (tests do).
 func NewICTF(rng *sim.Rand, n int) *Pool {
+	return NewICTFTemplate(rng, n).Pool()
+}
+
+// NewICTFTemplate is the template form of NewICTF, for callers that
+// instantiate the same pool many times.
+func NewICTFTemplate(rng *sim.Rand, n int) *PoolTemplate {
 	if n <= 0 {
 		n = 100000
 	}
-	return NewPool(rng, n, 1.1)
+	return NewPoolTemplate(rng, n, 1.1)
 }
 
 func randomTuple(rng *sim.Rand) pkt.FiveTuple {
