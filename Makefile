@@ -8,7 +8,7 @@ GO ?= go
 # stdlib-only rules the goldens depend on (see DESIGN.md "Enforced
 # invariants").
 .PHONY: verify
-verify: build vet lint test race
+verify: build vet lint test race fleet
 
 .PHONY: build
 build:
@@ -30,6 +30,23 @@ test:
 .PHONY: race
 race:
 	$(GO) test -race ./...
+
+# Fleet scenario gate: the numbered end-to-end suite under the race
+# detector (a live snicd API served over real HTTP per scenario), plus a
+# coverage floor on the control plane. The floor is deliberately below
+# the current number — it catches a PR that deletes the scenario or
+# property suites, not normal drift. Regenerate scenario goldens after
+# an intentional control-plane change with:
+#   go test ./internal/fleet/scenarios -update
+FLEET_COVER_FLOOR ?= 70
+.PHONY: fleet
+fleet:
+	$(GO) test -race -coverprofile=fleet.cover -coverpkg=./internal/fleet/... ./internal/fleet/...
+	@total=$$($(GO) tool cover -func=fleet.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	rm -f fleet.cover; \
+	echo "internal/fleet coverage: $$total% (floor $(FLEET_COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v floor="$(FLEET_COVER_FLOOR)" 'BEGIN { exit (t+0 < floor+0) ? 1 : 0 }' || \
+		{ echo "internal/fleet coverage $$total% fell below the $(FLEET_COVER_FLOOR)% floor" >&2; exit 1; }
 
 .PHONY: fmt
 fmt:

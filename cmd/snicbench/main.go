@@ -163,6 +163,13 @@ var registry = map[string]func(*bench) error{
 		}
 		return b.emit(exp.RenderFig8(rows))
 	},
+	"fleet": func(b *bench) error {
+		rows, err := b.runner.FleetChurn(b.cfgs.fleetDevices, b.cfgs.fleetEvents)
+		if err != nil {
+			return err
+		}
+		return b.emit(exp.RenderFleet(rows))
+	},
 	"attacks": func(b *bench) error {
 		cols, err := b.runner.AttackMatrix()
 		if err != nil {
@@ -266,6 +273,8 @@ type configs struct {
 	fig7Seconds  float64
 	fig7Rate     float64
 	fig8Requests int
+	fleetDevices int
+	fleetEvents  int
 }
 
 func scaleConfigs(scale string) configs {
@@ -278,6 +287,7 @@ func scaleConfigs(scale string) configs {
 			l2Sizes:     []uint64{64 << 10, 1 << 20, 4 << 20},
 			counts:      []int{2, 4, 8},
 			fig7Seconds: 30, fig7Rate: 4000, fig8Requests: 2000,
+			fleetDevices: 3, fleetEvents: 30,
 		}
 	case "full":
 		return configs{
@@ -287,6 +297,7 @@ func scaleConfigs(scale string) configs {
 			l2Sizes:     nil, // all twelve paper sizes
 			counts:      []int{2, 3, 4, 8, 16},
 			fig7Seconds: 150, fig7Rate: 0, fig8Requests: 20000,
+			fleetDevices: 8, fleetEvents: 200,
 		}
 	default: // medium
 		return configs{
@@ -298,6 +309,7 @@ func scaleConfigs(scale string) configs {
 			l2Sizes:     []uint64{8 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20},
 			counts:      []int{2, 3, 4, 8, 16},
 			fig7Seconds: 60, fig7Rate: 7417, fig8Requests: 8000,
+			fleetDevices: 5, fleetEvents: 80,
 		}
 	}
 }

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"snic/internal/fleet"
+	"snic/internal/obs"
+)
+
+// capture runs fn with stdout/stderr redirected to temp files and
+// returns what was written.
+func capture(t *testing.T, fn func(stdout, stderr *os.File) int) (int, string, string) {
+	t.Helper()
+	mk := func() *os.File {
+		f, err := os.CreateTemp(t.TempDir(), "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	so, se := mk(), mk()
+	code := fn(so, se)
+	rd := func(f *os.File) string {
+		buf, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return string(buf)
+	}
+	return code, rd(so), rd(se)
+}
+
+// TestScenarioModeMatchesGolden runs snicd -scenario end to end and
+// compares the transcript against the suite's pinned golden.
+func TestScenarioModeMatchesGolden(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "fleet", "scenarios", "01-smoke")
+	code, out, errOut := capture(t, func(so, se *os.File) int {
+		return run([]string{"-scenario", filepath.Join(dir, "scenario.json")}, so, se)
+	})
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, errOut)
+	}
+	want, err := os.ReadFile(filepath.Join(dir, "golden", "transcript.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("scenario transcript differs from golden:\n%s", out)
+	}
+}
+
+// TestScenarioModeShowVariants covers the -show selector and its usage
+// error.
+func TestScenarioModeShowVariants(t *testing.T) {
+	script := filepath.Join("..", "..", "internal", "fleet", "scenarios", "01-smoke", "scenario.json")
+	for show, prefix := range map[string]string{
+		"metrics": "# snic-metrics v1\n",
+		"trace":   "# snic-trace v1\n",
+		"oper":    "{\n",
+		"all":     "# snic-scenario",
+	} {
+		code, out, errOut := capture(t, func(so, se *os.File) int {
+			return run([]string{"-scenario", script, "-show", show}, so, se)
+		})
+		if code != 0 {
+			t.Fatalf("-show %s: exit %d\n%s", show, code, errOut)
+		}
+		if !strings.HasPrefix(out, prefix) {
+			t.Errorf("-show %s output starts %q, want prefix %q", show, out[:min(20, len(out))], prefix)
+		}
+	}
+	if code, _, _ := capture(t, func(so, se *os.File) int {
+		return run([]string{"-scenario", script, "-show", "everything"}, so, se)
+	}); code != 2 {
+		t.Errorf("bad -show exit = %d, want 2", code)
+	}
+	if code, _, _ := capture(t, func(so, se *os.File) int {
+		return run([]string{"-scenario", "no/such/file.json"}, so, se)
+	}); code != 2 {
+		t.Errorf("missing scenario exit = %d, want 2", code)
+	}
+}
+
+// TestApplyConfig bootstraps a manager from a config file and checks
+// both the happy path and a duplicate declaration.
+func TestApplyConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	cfg := `{
+  "devices": [
+    {"name": "nic-a", "model": "snic"},
+    {"name": "nic-b", "model": "bluefield"}
+  ],
+  "tenants": [{"name": "acme", "quota": {"cores": 4}}]
+}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := fleet.NewManager(fleet.Config{Seed: 1, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := applyConfig(m, path); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Configured()
+	if len(st.Devices) != 2 || len(st.Tenants) != 1 {
+		t.Fatalf("config not applied: %+v", st)
+	}
+	if err := applyConfig(m, path); err == nil {
+		t.Fatal("duplicate bootstrap accepted")
+	}
+}
+
+// TestBadFlags pins the usage exit code.
+func TestBadFlags(t *testing.T) {
+	if code, _, _ := capture(t, func(so, se *os.File) int {
+		return run([]string{"-no-such-flag"}, so, se)
+	}); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code, _, _ := capture(t, func(so, se *os.File) int {
+		return run([]string{"-policy", "martian", "-listen", "127.0.0.1:0"}, so, se)
+	}); code != 2 {
+		t.Errorf("bad policy exit = %d, want 2", code)
+	}
+}

@@ -23,10 +23,12 @@ func newAgilio(spec Spec) (*agilio, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &agilio{
+	d := &agilio{
 		commBase: newCommBase("agilio", 0, spec.Cores),
 		a:        a,
-	}, nil
+	}
+	d.res = commodityResources(spec.Cores, d.MemBytes())
+	return d, nil
 }
 
 func (d *agilio) Launch(spec FuncSpec) (FuncID, error) {

@@ -25,10 +25,12 @@ func newBlueField(spec Spec) (*blueField, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &blueField{
+	d := &blueField{
 		commBase: newCommBase("bluefield", SingleOwnerRAM|DemandPaging, spec.Cores),
 		b:        b,
-	}, nil
+	}
+	d.res = commodityResources(spec.Cores, d.MemBytes())
+	return d, nil
 }
 
 func (d *blueField) Launch(spec FuncSpec) (FuncID, error) {

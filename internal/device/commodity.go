@@ -39,6 +39,7 @@ type commBase struct {
 	nextID FuncID
 	bus    *busSim
 	accel  sharedAccel
+	res    Resources // schedulable capacity, fixed at construction
 }
 
 func newCommBase(model string, caps Capability, cores int) commBase {
@@ -52,11 +53,12 @@ func newCommBase(model string, caps Capability, cores int) commBase {
 	}
 }
 
-func (c *commBase) Model() string    { return c.model }
-func (c *commBase) Caps() Capability { return c.caps }
-func (c *commBase) Cores() int       { return len(c.cores.owner) }
-func (c *commBase) FreeCores() int   { return c.cores.free() }
-func (c *commBase) Live() int        { return len(c.funcs) }
+func (c *commBase) Model() string        { return c.model }
+func (c *commBase) Caps() Capability     { return c.caps }
+func (c *commBase) Resources() Resources { return c.res }
+func (c *commBase) Cores() int           { return len(c.cores.owner) }
+func (c *commBase) FreeCores() int       { return c.cores.free() }
+func (c *commBase) Live() int            { return len(c.funcs) }
 
 // Attest: commodity models have no launch measurement to sign.
 func (c *commBase) Attest(FuncID, []byte) (attest.Quote, error) {

@@ -178,6 +178,9 @@ type NIC interface {
 
 	// Region reports where a function's reservation lives in DRAM.
 	Region(id FuncID) (mem.Range, bool)
+	// Resources reports the device's schedulable capacity vector — what
+	// a fleet-level placer bin-packs tenant functions against.
+	Resources() Resources
 	MemBytes() uint64
 	FrameSize() uint64
 	Cores() int

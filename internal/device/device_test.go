@@ -285,3 +285,54 @@ func TestSpecString(t *testing.T) {
 		t.Fatal("empty spec render")
 	}
 }
+
+func TestConformanceResources(t *testing.T) {
+	for _, model := range Models() {
+		t.Run(model, func(t *testing.T) {
+			dev := build(t, model)
+			r := dev.Resources()
+			if r.Cores != dev.Cores() {
+				t.Fatalf("Resources().Cores = %d, Cores() = %d", r.Cores, dev.Cores())
+			}
+			if r.MemBytes != dev.MemBytes() {
+				t.Fatalf("Resources().MemBytes = %d, MemBytes() = %d", r.MemBytes, dev.MemBytes())
+			}
+			if r.TLBEntries != dev.Cores()*TLBEntriesPerCore {
+				t.Fatalf("Resources().TLBEntries = %d", r.TLBEntries)
+			}
+			if r.CacheWays != DefaultCacheWays {
+				t.Fatalf("Resources().CacheWays = %d", r.CacheWays)
+			}
+			if r.AccelClusters <= 0 {
+				t.Fatalf("Resources().AccelClusters = %d", r.AccelClusters)
+			}
+		})
+	}
+}
+
+func TestResourcesVector(t *testing.T) {
+	cap := Resources{Cores: 4, MemBytes: 1 << 20, TLBEntries: 64, CacheWays: 16, AccelClusters: 8}
+	d := Resources{Cores: 1, MemBytes: 1 << 10, TLBEntries: 8, CacheWays: 2, AccelClusters: 1}
+	if !cap.Fits(d) {
+		t.Fatal("demand should fit")
+	}
+	if cap.Fits(Resources{Cores: 5}) {
+		t.Fatal("core overcommit should not fit")
+	}
+	rem := cap.Sub(d)
+	if rem.Cores != 3 || rem.TLBEntries != 56 || rem.CacheWays != 14 {
+		t.Fatalf("Sub wrong: %+v", rem)
+	}
+	if back := rem.Add(d); back != cap {
+		t.Fatalf("Add(Sub) != identity: %+v", back)
+	}
+	if !(Resources{}).IsZero() || d.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sub underflow should panic")
+		}
+	}()
+	_ = d.Sub(cap)
+}

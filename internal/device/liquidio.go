@@ -34,10 +34,12 @@ func newLiquidIO(spec Spec, model string, mode baseline.Mode, extraCaps Capabili
 	if err != nil {
 		return nil, err
 	}
-	return &liquidIO{
+	d := &liquidIO{
 		commBase: newCommBase(model, extraCaps, spec.Cores),
 		l:        l,
-	}, nil
+	}
+	d.res = commodityResources(spec.Cores, d.MemBytes())
+	return d, nil
 }
 
 func (d *liquidIO) Launch(spec FuncSpec) (FuncID, error) {

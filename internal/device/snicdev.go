@@ -218,6 +218,19 @@ func (s *SNIC) Region(id FuncID) (mem.Range, bool) {
 	return v.Mem, true
 }
 
+// Resources: S-NIC reservations are hardware-enforced — locked per-core
+// TLB banks, statically partitioned L2 ways, and private accelerator
+// clusters summed across the four on-NIC accelerators.
+func (s *SNIC) Resources() Resources {
+	return Resources{
+		Cores:         s.dev.Cores(),
+		MemBytes:      s.dev.Memory().Size(),
+		TLBEntries:    s.dev.Cores() * TLBEntriesPerCore,
+		CacheWays:     DefaultCacheWays,
+		AccelClusters: s.dev.AccelClusters(),
+	}
+}
+
 func (s *SNIC) MemBytes() uint64  { return s.dev.Memory().Size() }
 func (s *SNIC) FrameSize() uint64 { return s.dev.Memory().FrameSize() }
 func (s *SNIC) Cores() int        { return s.dev.Cores() }

@@ -75,6 +75,12 @@ func renderAll(t *testing.T, workers int) string {
 	}
 	b.WriteString(RenderFig8(rows8).String())
 
+	fleetRows, err := r.FleetChurn(4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(RenderFleet(fleetRows).String())
+
 	return b.String()
 }
 

@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"sort"
+
+	"snic/internal/device"
+)
+
+// PlacementOper is one placement in an oper-state dump.
+type PlacementOper struct {
+	Tenant string           `json:"tenant"`
+	NF     string           `json:"nf"`
+	Device string           `json:"device"`
+	FuncID device.FuncID    `json:"func_id"`
+	Port   uint16           `json:"port"`
+	Demand device.Resources `json:"demand"`
+}
+
+// DeviceOper is one device's operational state.
+type DeviceOper struct {
+	Name       string           `json:"name"`
+	Model      string           `json:"model"`
+	State      string           `json:"state"`
+	Capacity   device.Resources `json:"capacity"`
+	Used       device.Resources `json:"used"`
+	Free       device.Resources `json:"free"`
+	LiveNFs    int              `json:"live_nfs"`
+	Placements []PlacementOper  `json:"placements,omitempty"`
+}
+
+// TenantOper is one tenant's operational state.
+type TenantOper struct {
+	Name  string           `json:"name"`
+	Quota ResourceSpec     `json:"quota"`
+	Used  device.Resources `json:"used"`
+	NFs   []PlacementOper  `json:"nfs,omitempty"`
+}
+
+// OperState is the fleet's full operational snapshot: what /v1/oper
+// serves and what the scenario suite pins as goldens. Every slice is
+// sorted and every field is a pure function of (seed, event history) —
+// deliberately no worker count, no wall time, no metric reads.
+type OperState struct {
+	Seed    uint64       `json:"seed"`
+	Policy  string       `json:"policy"`
+	Clock   uint64       `json:"clock"`
+	Bursts  uint64       `json:"bursts"`
+	Devices []DeviceOper `json:"devices"`
+	Tenants []TenantOper `json:"tenants"`
+	Stats   Stats        `json:"stats"`
+}
+
+// ConfigState is the declarative half: what was asked for, not what
+// happened. /v1/config serves it.
+type ConfigState struct {
+	Seed    uint64         `json:"seed"`
+	Policy  string         `json:"policy"`
+	Devices []DeviceSpec   `json:"devices"`
+	Tenants []TenantConfig `json:"tenants"`
+}
+
+// TenantConfig is one tenant's declarative entry.
+type TenantConfig struct {
+	Name  string       `json:"name"`
+	Quota ResourceSpec `json:"quota"`
+}
+
+func placementOper(pl *Placement) PlacementOper {
+	return PlacementOper{
+		Tenant: pl.Tenant,
+		NF:     pl.NF,
+		Device: pl.Device,
+		FuncID: pl.Func,
+		Port:   pl.Port,
+		Demand: pl.Demand,
+	}
+}
+
+// Oper snapshots the fleet's operational state.
+func (m *Manager) Oper() OperState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := OperState{
+		Seed:    m.cfg.Seed,
+		Policy:  m.cfg.Policy,
+		Clock:   m.clock,
+		Bursts:  m.bursts,
+		Devices: []DeviceOper{},
+		Tenants: []TenantOper{},
+		Stats:   m.stats,
+	}
+	for _, name := range m.sortedDeviceNames() {
+		md := m.devices[name]
+		d := DeviceOper{
+			Name:     md.name,
+			Model:    md.spec.Model,
+			State:    string(md.state),
+			Capacity: md.capacity,
+			Used:     md.used,
+			Free:     md.free(),
+			LiveNFs:  len(md.placed),
+		}
+		for _, k := range md.sortedPlacementKeys() {
+			d.Placements = append(d.Placements, placementOper(md.placed[k]))
+		}
+		st.Devices = append(st.Devices, d)
+	}
+	for _, name := range m.sortedTenantNames() {
+		tn := m.tenants[name]
+		t := TenantOper{Name: tn.name, Quota: tn.quota, Used: tn.used}
+		nfs := make([]string, 0, len(tn.placed))
+		for nf := range tn.placed {
+			nfs = append(nfs, nf)
+		}
+		sort.Strings(nfs)
+		for _, nf := range nfs {
+			t.NFs = append(t.NFs, placementOper(tn.placed[nf]))
+		}
+		st.Tenants = append(st.Tenants, t)
+	}
+	return st
+}
+
+// Configured snapshots the declarative state.
+func (m *Manager) Configured() ConfigState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := ConfigState{
+		Seed:    m.cfg.Seed,
+		Policy:  m.cfg.Policy,
+		Devices: []DeviceSpec{},
+		Tenants: []TenantConfig{},
+	}
+	for _, name := range m.sortedDeviceNames() {
+		st.Devices = append(st.Devices, m.devices[name].spec)
+	}
+	for _, name := range m.sortedTenantNames() {
+		tn := m.tenants[name]
+		st.Tenants = append(st.Tenants, TenantConfig{Name: tn.name, Quota: tn.quota})
+	}
+	return st
+}
+
+func (m *Manager) sortedDeviceNames() []string {
+	names := make([]string, 0, len(m.devices))
+	for n := range m.devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (m *Manager) sortedTenantNames() []string {
+	names := make([]string, 0, len(m.tenants))
+	for n := range m.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// Scenario is one numbered end-to-end script: an ordered list of
+// northbound API calls driven against a live snicd. The scenario suite
+// in internal/fleet/scenarios pins each scenario's transcript,
+// oper-state dump, metric dump, and trace as goldens.
+type Scenario struct {
+	// Name is the scenario's directory name, e.g. "01-smoke".
+	Name string `json:"name"`
+	// Seed is the fleet's base seed; every golden depends on it.
+	Seed uint64 `json:"seed"`
+	// Policy selects the placement strategy (empty: bestfit).
+	Policy string `json:"policy,omitempty"`
+	// Steps are executed in order; any unexpected status aborts the run.
+	Steps []Step `json:"steps"`
+}
+
+// Step is one API call of a scenario.
+type Step struct {
+	// Method and Path address the northbound route.
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	// Body is sent verbatim as the request body (empty: no body).
+	Body json.RawMessage `json:"body,omitempty"`
+	// Want is the expected status code (0 means 200).
+	Want int `json:"want,omitempty"`
+	// Record includes the response body in the transcript — used for
+	// burst results and error envelopes worth pinning.
+	Record bool `json:"record,omitempty"`
+}
+
+// LoadScenario reads and validates a scenario script.
+func LoadScenario(path string) (*Scenario, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("fleet: scenario %s: %w", path, err)
+	}
+	if sc.Name == "" {
+		return nil, fmt.Errorf("fleet: scenario %s: missing name", path)
+	}
+	if len(sc.Steps) == 0 {
+		return nil, fmt.Errorf("fleet: scenario %s: no steps", path)
+	}
+	for i := range sc.Steps {
+		st := &sc.Steps[i]
+		if st.Method == "" || !strings.HasPrefix(st.Path, "/") {
+			return nil, fmt.Errorf("fleet: scenario %s: step %d needs method and /path", path, i+1)
+		}
+		if st.Want == 0 {
+			st.Want = http.StatusOK
+		}
+	}
+	return &sc, nil
+}
+
+// Snapshot is everything a scenario run pins: the per-step transcript
+// plus the server's final oper-state, metric, and trace exports, all
+// fetched through the same live HTTP API the steps used.
+type Snapshot struct {
+	Transcript string // step-by-step text log
+	Oper       string // /v1/oper JSON
+	Metrics    string // /v1/metrics text
+	Trace      string // /v1/trace text
+}
+
+// RunScenario drives sc against the server at baseURL and collects the
+// final snapshot. The run is strict: a step whose status differs from
+// Want fails immediately with the offending response in the error.
+func RunScenario(client *http.Client, baseURL string, sc *Scenario) (*Snapshot, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var tr strings.Builder
+	fmt.Fprintf(&tr, "# snic-scenario %s seed=%d policy=%s\n", sc.Name, sc.Seed, sc.Policy)
+	for i, st := range sc.Steps {
+		status, body, err := call(client, st.Method, baseURL+st.Path, st.Body)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: scenario %s step %d: %w", sc.Name, i+1, err)
+		}
+		if status != st.Want {
+			return nil, fmt.Errorf("fleet: scenario %s step %d: %s %s = %d, want %d\n%s",
+				sc.Name, i+1, st.Method, st.Path, status, st.Want, body)
+		}
+		fmt.Fprintf(&tr, "step %02d %-6s %-34s -> %d\n", i+1, st.Method, st.Path, status)
+		if st.Record {
+			for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+				fmt.Fprintf(&tr, "    %s\n", line)
+			}
+		}
+	}
+	snap := &Snapshot{Transcript: tr.String()}
+	for _, ex := range []struct {
+		path string
+		dst  *string
+	}{
+		{"/v1/oper", &snap.Oper},
+		{"/v1/metrics", &snap.Metrics},
+		{"/v1/trace", &snap.Trace},
+	} {
+		status, body, err := call(client, http.MethodGet, baseURL+ex.path, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: scenario %s export %s: %w", sc.Name, ex.path, err)
+		}
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("fleet: scenario %s export %s = %d", sc.Name, ex.path, status)
+		}
+		*ex.dst = string(body)
+	}
+	return snap, nil
+}
+
+// call issues one HTTP request and returns status and body.
+func call(client *http.Client, method, url string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if len(body) > 0 {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if rd != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, buf, nil
+}

@@ -1,0 +1,22 @@
+// Package scenarios is the fleet's numbered end-to-end suite. Each
+// subdirectory NN-name holds one scenario script (scenario.json) plus
+// the golden snapshots (golden/) its run must reproduce byte-for-byte:
+//
+//	01-smoke/
+//	  scenario.json   the northbound API script
+//	  golden/
+//	    transcript.txt  step-by-step status log
+//	    oper.json       final /v1/oper snapshot
+//	    metrics.txt     final /v1/metrics dump
+//	    trace.txt       final /v1/trace dump
+//
+// The test harness starts a live snicd server (the same fleet.API
+// handler cmd/snicd serves), drives the script over real HTTP, and
+// compares the four snapshots against the goldens. Regenerate after an
+// intentional behavior change with:
+//
+//	go test ./internal/fleet/scenarios -update
+//
+// Every scenario must be byte-identical at any -workers count; the
+// invariance test re-runs the suite at 1, 4, and 16 workers.
+package scenarios

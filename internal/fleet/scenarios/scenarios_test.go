@@ -1,0 +1,133 @@
+package scenarios
+
+import (
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"snic/internal/fleet"
+	"snic/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite scenario goldens")
+
+// scenarioDirs lists the numbered scenario directories in order.
+func scenarioDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			if _, err := os.Stat(filepath.Join(e.Name(), "scenario.json")); err == nil {
+				dirs = append(dirs, e.Name())
+			}
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		t.Fatal("no scenario directories found")
+	}
+	return dirs
+}
+
+// run executes one scenario against a live snicd server (the same
+// fleet.API handler cmd/snicd serves) at the given worker count.
+func run(t *testing.T, dir string, workers int) *fleet.Snapshot {
+	t.Helper()
+	sc, err := fleet.LoadScenario(filepath.Join(dir, "scenario.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != dir {
+		t.Fatalf("scenario name %q != directory %q", sc.Name, dir)
+	}
+	m, err := fleet.NewManager(fleet.Config{
+		Seed:    sc.Seed,
+		Policy:  sc.Policy,
+		Workers: workers,
+		Obs:     obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(fleet.NewAPI(m))
+	defer srv.Close()
+	snap, err := fleet.RunScenario(srv.Client(), srv.URL, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// artifacts maps golden file names to snapshot fields.
+func artifacts(snap *fleet.Snapshot) map[string]string {
+	return map[string]string{
+		"transcript.txt": snap.Transcript,
+		"oper.json":      snap.Oper,
+		"metrics.txt":    snap.Metrics,
+		"trace.txt":      snap.Trace,
+	}
+}
+
+// golden compares got against dir/golden/name, rewriting under -update.
+func golden(t *testing.T, dir, name, got string) {
+	t.Helper()
+	path := filepath.Join(dir, "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s differs from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+			name, path, got, want)
+	}
+}
+
+// TestScenarios drives every numbered scenario against a live server
+// and pins all four snapshots.
+func TestScenarios(t *testing.T) {
+	for _, dir := range scenarioDirs(t) {
+		t.Run(dir, func(t *testing.T) {
+			snap := run(t, dir, 4)
+			for name, got := range artifacts(snap) {
+				golden(t, dir, name, got)
+			}
+		})
+	}
+}
+
+// TestScenarioWorkerInvariance is the fleet's determinism gate: every
+// scenario must produce byte-identical snapshots — transcript, oper
+// state, metric dump, and trace — at 1, 4, and 16 workers. Bursts fan
+// out one engine job per device, so any shared mutable state between
+// devices or scheduling-dependent randomness shows up here.
+func TestScenarioWorkerInvariance(t *testing.T) {
+	for _, dir := range scenarioDirs(t) {
+		t.Run(dir, func(t *testing.T) {
+			base := artifacts(run(t, dir, 1))
+			for _, w := range []int{4, 16} {
+				got := artifacts(run(t, dir, w))
+				for name := range base {
+					if got[name] != base[name] {
+						t.Errorf("%s with %d workers differs from serial run", name, w)
+					}
+				}
+			}
+		})
+	}
+}

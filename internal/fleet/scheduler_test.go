@@ -1,0 +1,227 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"snic/internal/device"
+	"snic/internal/obs"
+	"snic/internal/sim"
+)
+
+var propModels = []string{"snic", "bluefield", "agilio", "liquidio-ses", "liquidio-seum"}
+
+// buildRandomFleet constructs a manager with rng-chosen devices and
+// tenants and applies a random place/remove history. It returns the
+// manager and the number of operations that succeeded.
+func buildRandomFleet(t *testing.T, seed uint64, policy string, ops int) *Manager {
+	t.Helper()
+	rng := sim.DeriveRand(seed, "fleet/prop", policy)
+	m, err := NewManager(Config{Seed: seed, Policy: policy, Workers: 2, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nDev := 2 + rng.Intn(3)
+	for i := 0; i < nDev; i++ {
+		spec := DeviceSpec{
+			Name:  fmt.Sprintf("dev-%02d", i),
+			Model: propModels[rng.Intn(len(propModels))],
+		}
+		if rng.Intn(2) == 0 {
+			spec.Cores = 2 + rng.Intn(7)
+		}
+		if err := m.AddDevice(spec); err != nil {
+			t.Fatalf("add %+v: %v", spec, err)
+		}
+	}
+	nTen := 2 + rng.Intn(2)
+	for i := 0; i < nTen; i++ {
+		var quota ResourceSpec
+		if rng.Intn(2) == 0 {
+			quota = ResourceSpec{Cores: 2 + rng.Intn(6), MemMB: 4 + uint64(rng.Intn(16))}
+		}
+		if err := m.Admit(fmt.Sprintf("ten-%02d", i), quota); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next := 0
+	live := []string{} // "tenant nf" pairs for removal picks
+	for i := 0; i < ops; i++ {
+		tn := fmt.Sprintf("ten-%02d", rng.Intn(nTen))
+		if rng.Intn(10) < 7 || len(live) == 0 {
+			spec := NFSpec{
+				Name:  fmt.Sprintf("nf-%03d", next),
+				MemMB: 1 + uint64(rng.Intn(3)),
+				Cores: 1 + rng.Intn(2),
+			}
+			next++
+			if _, err := m.Place(tn, spec); err != nil {
+				// Quota and capacity rejections are expected outcomes of
+				// a random workload; anything else is a bug.
+				if !errors.Is(err, ErrQuota) && !errors.Is(err, ErrNoCapacity) {
+					t.Fatalf("place %s/%s: %v", tn, spec.Name, err)
+				}
+				continue
+			}
+			live = append(live, tn+" "+spec.Name)
+		} else {
+			k := rng.Intn(len(live))
+			var ten, nf string
+			fmt.Sscanf(live[k], "%s %s", &ten, &nf)
+			if err := m.Remove(ten, nf); err != nil {
+				t.Fatalf("remove %s/%s: %v", ten, nf, err)
+			}
+			live = append(live[:k], live[k+1:]...)
+		}
+	}
+	return m
+}
+
+// checkAccounting asserts the scheduler's core invariants on a
+// snapshot: no device overcommitted on any axis, every used vector
+// equal to the sum of its placement demands, and the device and tenant
+// views describing the same set of placements.
+func checkAccounting(t *testing.T, st OperState) {
+	t.Helper()
+	devPlacements := map[string]device.Resources{}
+	total := 0
+	for _, d := range st.Devices {
+		if !d.Capacity.Fits(d.Used) {
+			t.Errorf("device %s overcommitted: used %v > capacity %v", d.Name, d.Used, d.Capacity)
+		}
+		var sum device.Resources
+		for _, pl := range d.Placements {
+			sum = sum.Add(pl.Demand)
+			devPlacements[pl.Tenant+"/"+pl.NF] = pl.Demand
+		}
+		if sum != d.Used {
+			t.Errorf("device %s used %v != placement sum %v", d.Name, d.Used, sum)
+		}
+		if len(d.Placements) != d.LiveNFs {
+			t.Errorf("device %s live_nfs %d != %d placements", d.Name, d.LiveNFs, len(d.Placements))
+		}
+		total += len(d.Placements)
+	}
+	seen := 0
+	for _, tn := range st.Tenants {
+		var sum device.Resources
+		for _, pl := range tn.NFs {
+			sum = sum.Add(pl.Demand)
+			want, ok := devPlacements[pl.Tenant+"/"+pl.NF]
+			if !ok {
+				t.Errorf("tenant %s placement %s/%s missing from its device", tn.Name, pl.Tenant, pl.NF)
+			} else if want != pl.Demand {
+				t.Errorf("tenant/device demand mismatch for %s/%s", pl.Tenant, pl.NF)
+			}
+			seen++
+		}
+		if sum != tn.Used {
+			t.Errorf("tenant %s used %v != placement sum %v", tn.Name, tn.Used, sum)
+		}
+	}
+	if seen != total {
+		t.Errorf("tenant view has %d placements, device view %d", seen, total)
+	}
+}
+
+// TestPropertyNoOvercommit drives randomized workloads through every
+// policy and asserts the accounting invariants hold at the end of each
+// history (and that random histories only ever fail with quota or
+// capacity errors).
+func TestPropertyNoOvercommit(t *testing.T) {
+	for _, policy := range []string{"bestfit", "firstfit", "spread"} {
+		t.Run(policy, func(t *testing.T) {
+			for seed := uint64(1); seed <= 12; seed++ {
+				m := buildRandomFleet(t, seed, policy, 40)
+				checkAccounting(t, m.Oper())
+			}
+		})
+	}
+}
+
+// TestPropertyPlacementDeterminism re-runs identical random histories
+// and requires byte-identical oper state: placement must be a pure
+// function of (seed, policy, event order), never of map iteration or
+// scheduling.
+func TestPropertyPlacementDeterminism(t *testing.T) {
+	for _, policy := range []string{"bestfit", "firstfit", "spread"} {
+		for seed := uint64(1); seed <= 6; seed++ {
+			a, err := json.Marshal(buildRandomFleet(t, seed, policy, 30).Oper())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(buildRandomFleet(t, seed, policy, 30).Oper())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(a) != string(b) {
+				t.Fatalf("policy %s seed %d: same history, different oper state", policy, seed)
+			}
+		}
+	}
+}
+
+// TestPropertyDrainNeverLoses is the drain contract: for any random
+// fleet and any device, Drain either relocates every NF (device left
+// empty) or fails with ErrNoCapacity — and in both cases no NF is ever
+// lost, the total placement count is preserved, and the accounting
+// invariants still hold (make-before-break: an NF without a new home
+// stays live on the source).
+func TestPropertyDrainNeverLoses(t *testing.T) {
+	for _, policy := range []string{"bestfit", "firstfit", "spread"} {
+		for seed := uint64(1); seed <= 8; seed++ {
+			m := buildRandomFleet(t, seed, policy, 40)
+			before := m.Oper()
+			total := 0
+			for _, d := range before.Devices {
+				total += len(d.Placements)
+			}
+			for _, d := range before.Devices {
+				err := m.Drain(d.Name)
+				if err != nil && !errors.Is(err, ErrNoCapacity) {
+					t.Fatalf("drain %s: %v", d.Name, err)
+				}
+				after := m.Oper()
+				checkAccounting(t, after)
+				got := 0
+				for _, ad := range after.Devices {
+					got += len(ad.Placements)
+					if err == nil && ad.Name == d.Name && len(ad.Placements) != 0 {
+						t.Fatalf("drained device %s still hosts %d NFs", d.Name, len(ad.Placements))
+					}
+				}
+				if got != total {
+					t.Fatalf("drain of %s lost NFs: %d -> %d", d.Name, total, got)
+				}
+				if after.Stats.LostNFs != 0 {
+					t.Fatalf("drain of %s counted %d lost NFs", d.Name, after.Stats.LostNFs)
+				}
+				if err == nil {
+					// Reset for the next device: undrain restores capacity.
+					if err := m.Undrain(d.Name); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStrategyFor pins the policy registry and its error path.
+func TestStrategyFor(t *testing.T) {
+	for want, policy := range map[string]string{
+		"bestfit":  "",
+		"firstfit": "firstfit",
+		"spread":   "spread",
+	} {
+		st, err := strategyFor(policy)
+		if err != nil || st.name() != want {
+			t.Errorf("strategyFor(%q) = %v, %v; want %s", policy, st, err, want)
+		}
+	}
+	if _, err := NewManager(Config{Policy: "random"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -8,12 +8,14 @@ import (
 // simulationPath reports whether an import path is part of the simulated
 // path, where wall-clock time and ambient randomness are forbidden:
 // everything under internal/ (the simulation kernel, device models, NFs,
-// experiments, and the engine that schedules them). Commands and
-// examples sit outside — they may time their own progress output —
+// experiments, and the engine that schedules them), plus cmd/snicd — the
+// fleet daemon promises byte-identical replays of any request history,
+// so it is held to the same bar as the packages it wraps. Other commands
+// and examples sit outside — they may time their own progress output —
 // though the two wall-clock sites the engine needs for -v metrics still
 // require explicit waivers because the engine itself is simulation-path.
 func simulationPath(path string) bool {
-	return strings.HasPrefix(path, "snic/internal/")
+	return strings.HasPrefix(path, "snic/internal/") || path == "snic/cmd/snicd"
 }
 
 // forbiddenTimeFuncs are the package-time functions that read or depend

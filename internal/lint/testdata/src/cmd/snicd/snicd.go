@@ -1,0 +1,29 @@
+// Command snicd here is the fixture stub proving the determinism check
+// reaches cmd/snicd: the real daemon promises byte-identical replays, so
+// unlike the other commands it may not consult the wall clock or
+// math/rand. Each forbidden form below must appear in golden.txt.
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+// uptime trips the wall-clock entry points: a daemon that stamps its
+// responses with real time can never replay a request history
+// byte-identically.
+func uptime() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+// jitter trips the ambient-randomness ban: listen-port or backoff
+// jitter must come from the fleet's seeded streams, not math/rand.
+func jitter() int {
+	return rand.Intn(100)
+}
+
+func main() {
+	_ = uptime()
+	_ = jitter()
+}

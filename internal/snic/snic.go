@@ -307,6 +307,14 @@ func (d *Device) NF(id ID) *VirtualNIC { return d.nfs[id] }
 // Cores returns the number of programmable cores.
 func (d *Device) Cores() int { return d.cfg.Cores }
 
+// AccelClusters sums the reservable clusters across the device's four
+// accelerators (§4.4) — the per-function reservation budget a
+// fleet-level placer packs against.
+func (d *Device) AccelClusters() int {
+	return d.dpi.NumClusters() + d.zip.NumClusters() +
+		d.raid.NumClusters() + d.crypto.NumClusters()
+}
+
 // FreeCores counts unallocated programmable cores.
 func (d *Device) FreeCores() int {
 	n := 0
