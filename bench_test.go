@@ -25,9 +25,11 @@ import (
 	"snic/internal/nf"
 	"snic/internal/pkt"
 	"snic/internal/pktio"
+	"snic/internal/sim"
 	"snic/internal/snic"
 	"snic/internal/tco"
 	"snic/internal/tlb"
+	"snic/internal/trace"
 )
 
 func BenchmarkTable2CoreTLBCosts(b *testing.B) {
@@ -412,5 +414,79 @@ func BenchmarkPacketSwitchDeliver(b *testing.B) {
 			b.Fatal(err)
 		}
 		d.NF(id).VPP.Pop()
+	}
+}
+
+// --- Streaming replay ------------------------------------------------------
+
+// BenchmarkReplayCAIDA is the trajectory benchmark for the full-scale
+// replay path: a scaled-down CAIDA-shaped window streamed through
+// sharded Monitor models. ns/op here is what `snicbench -scale full
+// -experiment replay` pays per ~150 k packets, so snicperf tracks it as
+// the cost anchor for the paper-scale (1.34 G packet) run.
+func BenchmarkReplayCAIDA(b *testing.B) {
+	cfg := exp.ReplayConfig{Flows: 50000, PerFlow: 3, Shards: 4, Seed: 0xCA1DA}
+	var res exp.ReplayResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.ReplayCAIDA(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.PeakMB, "peak-MB")
+	b.ReportMetric(float64(res.Packets)/float64(b.Elapsed().Nanoseconds())*float64(b.N)*1e3, "Mpps")
+}
+
+// BenchmarkPoolStreamDraw measures the steady-state per-packet cost of
+// the streaming generator (zipf flow pick + payload fill over a reused
+// buffer).
+func BenchmarkPoolStreamDraw(b *testing.B) {
+	tpl := trace.NewICTFTemplate(sim.NewRand(1), 20000)
+	st := tpl.Stream(512)
+	b.ReportAllocs()
+	b.SetBytes(512)
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := st.Next(); !ok {
+			b.Fatal("pool stream ended")
+		}
+	}
+}
+
+// BenchmarkCAIDAStreamDraw measures the per-packet cost of the CAIDA
+// flow-arrival iterator.
+func BenchmarkCAIDAStreamDraw(b *testing.B) {
+	st := trace.NewCAIDABudget(sim.NewRand(2), uint64(b.N)+1, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := st.Next(); !ok {
+			b.Fatal("caida stream ended")
+		}
+	}
+}
+
+// TestSteadyStateDrawAllocations pins the satellite claim behind the
+// streaming refactor: after warm-up, drawing a packet from any of the
+// three generators performs zero heap allocations. AllocsPerRun's
+// warm-up run absorbs the one-time buffer growth; any per-packet slice
+// regression fails here before it shows up as full-scale GC churn.
+func TestSteadyStateDrawAllocations(t *testing.T) {
+	pool := trace.NewICTF(sim.NewRand(3), 5000)
+	if avg := testing.AllocsPerRun(200, func() {
+		pool.NextPacketBuf(512)
+	}); avg != 0 {
+		t.Errorf("Pool.NextPacketBuf: %.1f allocs/packet, want 0", avg)
+	}
+	st := trace.NewICTFTemplate(sim.NewRand(4), 5000).Stream(512)
+	if avg := testing.AllocsPerRun(200, func() {
+		st.Next()
+	}); avg != 0 {
+		t.Errorf("PoolStream.Next: %.1f allocs/packet, want 0", avg)
+	}
+	cs := trace.NewCAIDABudget(sim.NewRand(5), 1<<40, 3)
+	if avg := testing.AllocsPerRun(200, func() {
+		cs.Next()
+	}); avg != 0 {
+		t.Errorf("CAIDAStream.Next: %.1f allocs/packet, want 0", avg)
 	}
 }

@@ -24,11 +24,21 @@
 // deterministic — byte-identical for every -workers value — and
 // attaching them never changes experiment output.
 //
+// The "replay" experiment streams a CAIDA-shaped window (full scale:
+// the paper's 26.7 M flows x 50 packets each) through per-shard
+// Monitor models in O(1) memory. -checkpoint FILE makes it resumable:
+// an interrupted run (or one cut short by -stop-after N, the CI resume
+// gate's deterministic "kill") saves its cursors there and exits 3;
+// rerunning with the same flags resumes and the final output is
+// byte-identical to an uninterrupted run.
+//
 // Exit status: 0 on success, 1 when an experiment fails, 2 for usage
-// errors (unknown experiment, bad -format, bad flags).
+// errors (unknown experiment, bad -format, bad flags), 3 when a replay
+// was interrupted with its checkpoint saved.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -45,10 +55,12 @@ import (
 // runner, the scale configuration, the output emitter, and the NF
 // profiles memoized across the experiments that share them.
 type bench struct {
-	runner   *exp.Runner
-	cfgs     configs
-	outFmt   exp.Format
-	profiles []exp.NFProfile
+	runner     *exp.Runner
+	cfgs       configs
+	outFmt     exp.Format
+	profiles   []exp.NFProfile
+	checkpoint string
+	stopAfter  uint64
 }
 
 func (b *bench) emit(t exp.Table) error {
@@ -170,6 +182,16 @@ var registry = map[string]func(*bench) error{
 		}
 		return b.emit(exp.RenderFleet(rows))
 	},
+	"replay": func(b *bench) error {
+		cfg := b.cfgs.replay
+		cfg.CheckpointPath = b.checkpoint
+		cfg.StopAfter = b.stopAfter
+		res, err := b.runner.ReplayCAIDA(cfg)
+		if err != nil {
+			return err
+		}
+		return b.emit(exp.RenderReplay(res))
+	},
 	"attacks": func(b *bench) error {
 		cols, err := b.runner.AttackMatrix()
 		if err != nil {
@@ -198,6 +220,8 @@ func main() {
 	verbose := flag.Bool("v", false, "report engine metrics per sweep on stderr")
 	tracePath := flag.String("trace", "", "write a Chrome-trace-event JSON file of cycle-stamped spans")
 	metrics := flag.Bool("metrics", false, "print the simulated-time metric dump on stderr")
+	checkpoint := flag.String("checkpoint", "", "replay: persist/resume shard cursors at FILE")
+	stopAfter := flag.Uint64("stop-after", 0, "replay: interrupt each shard after N packets this run (exit 3)")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
 
@@ -220,9 +244,11 @@ func main() {
 	}
 
 	b := &bench{
-		runner: &exp.Runner{Workers: *workers},
-		cfgs:   scaleConfigs(*scale),
-		outFmt: outFmt,
+		runner:     &exp.Runner{Workers: *workers},
+		cfgs:       scaleConfigs(*scale),
+		outFmt:     outFmt,
+		checkpoint: *checkpoint,
+		stopAfter:  *stopAfter,
 	}
 	if *verbose {
 		b.runner.Observe = func(m engine.Metrics) { fmt.Fprintln(os.Stderr, m.String()) }
@@ -242,6 +268,10 @@ func main() {
 			continue
 		}
 		if err := registry[name](b); err != nil {
+			if errors.Is(err, engine.ErrInterrupted) {
+				fmt.Fprintf(os.Stderr, "snicbench: %s: interrupted, checkpoint saved; rerun to resume\n", name)
+				os.Exit(3)
+			}
 			fmt.Fprintf(os.Stderr, "snicbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -275,6 +305,7 @@ type configs struct {
 	fig8Requests int
 	fleetDevices int
 	fleetEvents  int
+	replay       exp.ReplayConfig
 }
 
 func scaleConfigs(scale string) configs {
@@ -288,6 +319,7 @@ func scaleConfigs(scale string) configs {
 			counts:      []int{2, 4, 8},
 			fig7Seconds: 30, fig7Rate: 4000, fig8Requests: 2000,
 			fleetDevices: 3, fleetEvents: 30,
+			replay: exp.ReplayConfig{Flows: 20000, PerFlow: 3, Shards: 4, Seed: 0xCA1DA},
 		}
 	case "full":
 		return configs{
@@ -298,6 +330,10 @@ func scaleConfigs(scale string) configs {
 			counts:      []int{2, 3, 4, 8, 16},
 			fig7Seconds: 150, fig7Rate: 0, fig8Requests: 20000,
 			fleetDevices: 8, fleetEvents: 200,
+			// The paper's full CAIDA window: 26.7 M flows, ~50:1
+			// packet:flow ratio (1.34 G packets). Streams in O(1) memory;
+			// pair with -checkpoint to make the hours-long run resumable.
+			replay: exp.ReplayConfig{Flows: 26_700_000, PerFlow: 50, Shards: 64, Seed: 0xCA1DA},
 		}
 	default: // medium
 		return configs{
@@ -310,6 +346,8 @@ func scaleConfigs(scale string) configs {
 			counts:      []int{2, 3, 4, 8, 16},
 			fig7Seconds: 60, fig7Rate: 7417, fig8Requests: 8000,
 			fleetDevices: 5, fleetEvents: 80,
+			// Matches the golden suite's replay shape.
+			replay: exp.ReplayConfig{Flows: 50000, PerFlow: 3, Shards: 4, Seed: 0xCA1DA},
 		}
 	}
 }

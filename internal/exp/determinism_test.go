@@ -81,6 +81,12 @@ func renderAll(t *testing.T, workers int) string {
 	}
 	b.WriteString(RenderFleet(fleetRows).String())
 
+	replay, err := r.ReplayCAIDA(goldenReplayConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(RenderReplay(replay).String())
+
 	return b.String()
 }
 

@@ -9,7 +9,6 @@ import (
 	"snic/internal/mem"
 	"snic/internal/nf"
 	"snic/internal/obs"
-	"snic/internal/pkt"
 	"snic/internal/sim"
 	"snic/internal/snic"
 	"snic/internal/trace"
@@ -172,8 +171,12 @@ func monitorSeries(rng *sim.Rand, seconds, flowRate float64, samples int) []Fig7
 	}
 	for s := 0; s < samples; s++ {
 		stepPeak = mon.Arena().Live()
-		for _, ft := range c.Advance(dt, 1) {
-			p := pkt.Packet{Tuple: ft}
+		c.Advance(dt, 1)
+		for {
+			_, p, ok := c.Next()
+			if !ok {
+				break
+			}
 			mon.Process(&p)
 		}
 		elapsed += dt

@@ -61,3 +61,26 @@ func ictfPool(seed uint64, flows int) *trace.Pool {
 	})
 	return t.Pool()
 }
+
+// ictfForkMemo caches templates keyed by an already-forked seed — the
+// value rng.ForkSeed() returned — whereas ictfMemo's key is the seed of
+// the parent stream that forks. The two derivations differ by one fork,
+// so they must not share a cache.
+var ictfForkMemo memo.Cache[poolKey, *trace.PoolTemplate]
+
+// ictfPoolFork returns a fresh ICTF pool whose streams start from an
+// already-forked seed. It matches the pre-memoization derivation
+//
+//	pool := trace.NewICTF(rng.Fork(), flows)
+//
+// when called as ictfPoolFork(rng.ForkSeed(), flows): ForkSeed consumes
+// the same single draw Fork did, and NewRand(forkSeed) is exactly the
+// generator Fork would have handed to NewICTF. Table 6/8's profiling
+// jobs use this so the six per-NF jobs (and every benchmark iteration)
+// share one flow set + CDF build per (seed, flows).
+func ictfPoolFork(forkSeed uint64, flows int) *trace.Pool {
+	t := ictfForkMemo.Get(poolKey{seed: forkSeed, flows: flows}, func() *trace.PoolTemplate {
+		return trace.NewICTFTemplate(sim.NewRand(forkSeed), flows)
+	})
+	return t.Pool()
+}

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"testing"
+
+	"snic/internal/sim"
+)
+
+// TestIctfPoolForkMemoizesTemplate pins the Table 6/8 memoization: the
+// profiling path builds one PoolTemplate per (forkSeed, flows) and every
+// later pool instantiates from that cached template, so repeated sweeps
+// (and benchmark iterations) never rebuild the flow set or Zipf CDF.
+func TestIctfPoolForkMemoizesTemplate(t *testing.T) {
+	rng := sim.NewRand(0xF0F0)
+	forkSeed := rng.ForkSeed()
+	key := poolKey{seed: forkSeed, flows: 1234}
+
+	_ = ictfPoolFork(forkSeed, 1234)
+	tpl, ok := ictfForkMemo.Peek(key)
+	if !ok {
+		t.Fatal("first ictfPoolFork did not populate the template cache")
+	}
+	_ = ictfPoolFork(forkSeed, 1234)
+	again, ok := ictfForkMemo.Peek(key)
+	if !ok || again != tpl {
+		t.Fatal("second ictfPoolFork rebuilt the template instead of reusing it")
+	}
+
+	// The fork-keyed cache must stay disjoint from the parent-seed cache:
+	// the derivations differ by one fork, so sharing would hand Fig 5 the
+	// wrong draws.
+	if _, ok := ictfMemo.Peek(key); ok {
+		t.Fatal("fork-keyed template leaked into the parent-seed cache")
+	}
+
+	// Memoization must be invisible: two pools from the cached template
+	// draw identically to a freshly built pool.
+	a := ictfPoolFork(forkSeed, 1234)
+	b := ictfPoolFork(forkSeed, 1234)
+	for i := 0; i < 50; i++ {
+		_, pa := a.NextPacket(64)
+		_, pb := b.NextPacket(64)
+		if pa.Tuple != pb.Tuple {
+			t.Fatalf("draw %d: cached-template pools diverged", i)
+		}
+	}
+}

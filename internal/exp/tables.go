@@ -8,7 +8,6 @@ import (
 	"snic/internal/mem"
 	"snic/internal/nf"
 	"snic/internal/pagealloc"
-	"snic/internal/pkt"
 	"snic/internal/sim"
 	"snic/internal/tco"
 	"snic/internal/trace"
@@ -189,22 +188,28 @@ func (r *Runner) ProfileNFs(cfg nf.SuiteConfig, flows, packets int) ([]NFProfile
 // and measures its profile. All mutable state (the NF, the pool, the
 // CAIDA stream) is local to this call, so jobs never share instances.
 func profileNF(name string, cfg nf.SuiteConfig, flows, packets int, rng *sim.Rand) (NFProfile, error) {
-	pool := trace.NewICTF(rng.Fork(), flows)
+	pool := ictfPoolFork(rng.ForkSeed(), flows)
 	f, err := nf.New(name, cfg)
 	if err != nil {
 		return NFProfile{}, err
 	}
-	// Drive stateful NFs so caches/tables/counters populate.
+	// Drive stateful NFs so caches/tables/counters populate. The NFs
+	// consume each packet before the next draw, so the pool's reused
+	// payload buffer is safe here.
 	for i := 0; i < packets; i++ {
-		_, p := pool.NextPacket(trace.IMIXLen(rng))
+		_, p := pool.NextPacketBuf(trace.IMIXLen(rng))
 		f.Process(&p)
 	}
 	if name == "Mon" {
 		// The Monitor additionally observes a CAIDA-like window whose
 		// distinct-flow count dwarfs the pool.
 		c := trace.NewCAIDA(rng.Fork(), float64(flows))
-		for _, ft := range c.Advance(10, 1) {
-			p := pkt.Packet{Tuple: ft}
+		c.Advance(10, 1)
+		for {
+			_, p, ok := c.Next()
+			if !ok {
+				break
+			}
 			f.Process(&p)
 		}
 	}

@@ -6,8 +6,8 @@ import (
 
 	"snic/internal/engine"
 	"snic/internal/obs"
-	"snic/internal/pkt"
 	"snic/internal/sim"
+	"snic/internal/trace"
 )
 
 // pktCycles is the modeled per-frame ingress cost a burst charges the
@@ -137,7 +137,12 @@ func (m *Manager) Burst(spec WorkloadSpec) (BurstResult, error) {
 // in exactly one job).
 func (m *Manager) burstDevice(md *managedDevice, spec WorkloadSpec, burst, start uint64, rng *sim.Rand) (deviceBurst, error) {
 	var out deviceBurst
-	payload := make([]byte, spec.FrameBytes)
+	// One streaming synthesizer per device job: frames are drawn one at a
+	// time over a reused payload buffer (Marshal copies it into the wire
+	// frame, which VPP rings may retain), so burst size never shows up in
+	// the job's memory footprint. The synth's draw order matches the
+	// pre-streaming inline code, pinning the scenario goldens.
+	synth := trace.NewFrameSynth(rng, spec.FrameBytes)
 	for pi, key := range md.sortedPlacementKeys() {
 		pl := md.placed[key]
 		now := start
@@ -147,18 +152,8 @@ func (m *Manager) burstDevice(md *managedDevice, spec WorkloadSpec, burst, start
 		// rng-filled payloads, delivered through the device's real
 		// classifier and retrieved from the NF's own receive ring.
 		for p := 0; p < spec.Packets; p++ {
-			rng.Bytes(payload)
-			frame := (&pkt.Packet{
-				Tuple: pkt.FiveTuple{
-					SrcIP:   0x0a000000 | rng.Uint32()&0xFFFF,
-					DstIP:   0x0a800000 | uint32(pi),
-					SrcPort: uint16(40000 + rng.Intn(20000)),
-					DstPort: pl.Port,
-					Proto:   pkt.ProtoUDP,
-				},
-				TTL:     64,
-				Payload: payload,
-			}).Marshal()
+			pk := synth.Steered(0x0a800000|uint32(pi), pl.Port)
+			frame := pk.Marshal()
 			out.bytes += uint64(len(frame))
 			if _, err := md.nic.Inject(frame); err != nil {
 				out.drops++
@@ -168,15 +163,9 @@ func (m *Manager) burstDevice(md *managedDevice, spec WorkloadSpec, burst, start
 		}
 		// Stray frames: no placement matches UDP port 1, so these
 		// exercise the drop path (and the drop counters in goldens).
-		for s := rng.Intn(spec.Packets/4 + 1); s > 0; s-- {
-			rng.Bytes(payload)
-			frame := (&pkt.Packet{
-				Tuple: pkt.FiveTuple{
-					SrcIP: 0x0a000001, DstIP: 0x0a800001,
-					SrcPort: 7, DstPort: 1, Proto: pkt.ProtoUDP,
-				},
-				TTL: 64, Payload: payload,
-			}).Marshal()
+		for s := synth.StrayCount(spec.Packets); s > 0; s-- {
+			pk := synth.Stray()
+			frame := pk.Marshal()
 			out.bytes += uint64(len(frame))
 			if _, err := md.nic.Inject(frame); err != nil {
 				out.drops++

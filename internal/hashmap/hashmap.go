@@ -20,6 +20,14 @@ type Key [16]byte
 // (key+value plus 1 byte of control metadata, with 87.5% max load).
 const entrySize = 16 + 8 + 1
 
+// EntrySize and MaxLoad export the table's cost model so analytical
+// replicas (nf.MonitorModel tracks a Monitor's memory trajectory without
+// storing any entries) charge exactly what a live Map would.
+const (
+	EntrySize = entrySize
+	MaxLoad   = 0.875
+)
+
 // Map is an open-addressing (linear probing) hash map from Key to uint64.
 type Map struct {
 	arena   *mem.Arena
@@ -39,7 +47,7 @@ func New(arena *mem.Arena, hint int) *Map {
 	for capacity < hint {
 		capacity *= 2
 	}
-	m := &Map{arena: arena, maxLoad: 0.875}
+	m := &Map{arena: arena, maxLoad: MaxLoad}
 	m.alloc(capacity)
 	return m
 }

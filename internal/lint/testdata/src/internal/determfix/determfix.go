@@ -33,3 +33,24 @@ func Memoized() int64 {
 		return time.Now().UnixNano()
 	})
 }
+
+// cursor mimics a streaming checkpoint cursor: position plus a stamp.
+type cursor struct {
+	Pos     uint64
+	Stamped int64
+}
+
+// Save trips the check inside checkpoint/cursor code: stamping a
+// wall-clock time into a cursor makes the saved bytes differ between an
+// interrupted and an uninterrupted run, so resume can never be
+// byte-identical. Cursor state must be a pure function of stream
+// position.
+func Save(pos uint64) cursor {
+	return cursor{Pos: pos, Stamped: time.Now().UnixNano()}
+}
+
+// Shuffle trips the check in a stream-sharding shape: picking the next
+// shard by math/rand makes the merge order scheduling-dependent.
+func Shuffle(shards int) int {
+	return rand.Intn(shards)
+}

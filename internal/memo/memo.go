@@ -15,11 +15,17 @@
 // value, not in the value itself.
 package memo
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// entry pairs a value slot with the once that fills it.
+// entry pairs a value slot with the once that fills it; done flips only
+// after the build completes, so lock-free readers (Peek) can tell a
+// built value from an in-flight or never-requested one.
 type entry[V any] struct {
 	once sync.Once
+	done atomic.Bool
 	v    V
 }
 
@@ -38,8 +44,29 @@ func (c *Cache[K, V]) Get(key K, build func() V) V {
 		e, _ = c.m.LoadOrStore(key, new(entry[V]))
 	}
 	en := e.(*entry[V])
-	en.once.Do(func() { en.v = build() })
+	en.once.Do(func() {
+		en.v = build()
+		en.done.Store(true)
+	})
 	return en.v
+}
+
+// Peek returns the built value for key without building anything. The
+// second result is false if the key has never been requested or its
+// build has not completed yet. Tests use it to assert reuse — that a
+// code path hit the cache rather than rebuilding — without perturbing
+// the cache the way a Get with a counting build func would.
+func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	var zero V
+	e, ok := c.m.Load(key)
+	if !ok {
+		return zero, false
+	}
+	en := e.(*entry[V])
+	if !en.done.Load() {
+		return zero, false
+	}
+	return en.v, true
 }
 
 // Len reports how many keys have an entry (built or building), for tests

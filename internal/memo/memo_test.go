@@ -43,3 +43,49 @@ func TestGetSharesPointerValues(t *testing.T) {
 		t.Error("same key returned distinct values")
 	}
 }
+
+func TestPeek(t *testing.T) {
+	var c Cache[string, int]
+	if _, ok := c.Peek("missing"); ok {
+		t.Error("Peek on an empty cache reported a value")
+	}
+	c.Get("k", func() int { return 7 })
+	v, ok := c.Peek("k")
+	if !ok || v != 7 {
+		t.Errorf("Peek(k) = %d, %v; want 7, true", v, ok)
+	}
+	// Peek never builds: the key it probed must not appear as an entry.
+	if _, ok := c.Peek("other"); ok {
+		t.Error("Peek built a value")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len() = %d after Peek, want 1", c.Len())
+	}
+}
+
+// TestPeekDoesNotObserveInFlightBuilds pins the lock-free contract: a
+// Peek racing a slow build reports absent rather than blocking on the
+// once or returning a half-written value.
+func TestPeekDoesNotObserveInFlightBuilds(t *testing.T) {
+	var c Cache[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	donec := make(chan struct{})
+	go func() {
+		defer close(donec)
+		c.Get("k", func() int {
+			close(started)
+			<-release
+			return 42
+		})
+	}()
+	<-started
+	if _, ok := c.Peek("k"); ok {
+		t.Error("Peek observed an in-flight build")
+	}
+	close(release)
+	<-donec
+	if v, ok := c.Peek("k"); !ok || v != 42 {
+		t.Errorf("Peek after build = %d, %v; want 42, true", v, ok)
+	}
+}

@@ -86,6 +86,23 @@ func (r *Rand) Bytes(b []byte) {
 	}
 }
 
+// State returns the generator's internal state so a caller can capture
+// the stream position as a plain uint64 (resumable cursors serialize
+// it). SetState(State()) restores the stream exactly: the next draw
+// after a restore equals the next draw the captured generator would
+// have made.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState restores a state captured with State. A zero state is
+// remapped the same way NewRand remaps a zero seed, so a decoded
+// zero-value cursor can never wedge the generator at its fixed point.
+func (r *Rand) SetState(state uint64) {
+	if state == 0 {
+		state = 0x9E3779B97F4A7C15
+	}
+	r.state = state
+}
+
 // ForkSeed draws the seed a Fork call would use, without building the
 // child generator. It lets callers capture a fork point as a plain
 // uint64 (e.g. to rebuild the identical child stream later) while

@@ -90,7 +90,9 @@ func LoadFrames(r io.Reader) ([][]byte, error) {
 func (p *Pool) Frames(n int) [][]byte {
 	out := make([][]byte, n)
 	for i := range out {
-		_, pk := p.NextPacket(IMIXLen(p.rng))
+		// Marshal copies the payload into the frame, so the pool's
+		// reused buffer never escapes.
+		_, pk := p.NextPacketBuf(IMIXLen(p.rng))
 		out[i] = pk.Marshal()
 	}
 	return out

@@ -1,0 +1,267 @@
+// Streaming trace generation. A Stream yields (flowIdx, packet) pairs
+// one at a time in O(1) memory, and its position is a serializable
+// Cursor: Seek(Cursor()) restores the generator exactly, so a replay can
+// be checkpointed mid-window and resumed byte-identically (the engine's
+// sharded runner builds on this). PoolStream is the streaming form of
+// Pool — draw-for-draw identical to NextPacket/Frames — and CAIDAStream
+// implements the same interface for the arrival-process trace.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"snic/internal/pkt"
+	"snic/internal/sim"
+)
+
+// Stream is a deterministic packet generator with a seekable position.
+// Next yields the next packet's flow index and the packet itself,
+// returning false when the stream is exhausted (or, for horizon-based
+// streams like CAIDAStream, drained up to the advanced horizon). Pos
+// counts packets yielded. Cursor captures the full generator position;
+// Seek restores it on a stream constructed with the same parameters.
+type Stream interface {
+	Next() (int, pkt.Packet, bool)
+	Pos() uint64
+	Cursor() Cursor
+	Seek(Cursor) error
+}
+
+// CursorVersion is the serialization version stamped into every Cursor.
+const CursorVersion = 1
+
+// Cursor is a serializable stream position. Version and Kind guard
+// against resuming a checkpoint onto a different generator; Data holds
+// the kind-specific state (RNG states, counters, the in-flight tuple).
+// Everything round-trips through JSON without loss — all fields are
+// integers or exact-round-trip structs — so a decoded cursor resumes the
+// stream byte-identically.
+type Cursor struct {
+	Version int             `json:"version"`
+	Kind    string          `json:"kind"`
+	Pos     uint64          `json:"pos"`
+	Data    json.RawMessage `json:"data"`
+}
+
+func (c Cursor) check(kind string) error {
+	if c.Version != CursorVersion {
+		return fmt.Errorf("trace: cursor version %d, want %d", c.Version, CursorVersion)
+	}
+	if c.Kind != kind {
+		return fmt.Errorf("trace: cursor kind %q, want %q", c.Kind, kind)
+	}
+	return nil
+}
+
+func makeCursor(kind string, pos uint64, data any) Cursor {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		// All cursor payloads are plain structs of integers; Marshal
+		// cannot fail on them. Panic rather than return a corrupt cursor.
+		panic("trace: cursor marshal: " + err.Error())
+	}
+	return Cursor{Version: CursorVersion, Kind: kind, Pos: pos, Data: raw}
+}
+
+// PoolStream draws packets from a PoolTemplate's flow set exactly like a
+// Pool, but as a bounded, seekable Stream with a reused payload buffer.
+// With a fixed payload length it reproduces Pool.NextPacket's draw order;
+// in IMIX mode (fixedLen 0) it reproduces Pool.Frames' order, where the
+// length draw and the payload bytes share one RNG stream. The returned
+// packet's Payload aliases an internal buffer overwritten by the next
+// Next call.
+type PoolStream struct {
+	flows    []pkt.FiveTuple
+	zipf     *sim.Zipf
+	zipfRng  *sim.Rand
+	rng      *sim.Rand // payload bytes, and IMIX lengths when fixedLen == 0
+	fixedLen int
+	limit    uint64 // packets to yield; 0 = unbounded
+	pos      uint64
+	buf      []byte
+}
+
+// Stream instantiates the template as a PoolStream whose draws match the
+// template's Pool() instances. fixedLen > 0 fixes every payload length
+// (NextPacket order); fixedLen == 0 draws IMIX lengths (Frames order).
+func (t *PoolTemplate) Stream(fixedLen int) *PoolStream {
+	return t.streamSeeded(t.zipfSeed, t.rngSeed, fixedLen)
+}
+
+// Shards splits the template into k independent PoolStreams over the same
+// flow set. Shard seeds come from sim.DeriveSeed(base, label, "s<i>", …),
+// so each shard's sampling and payload streams are pure functions of
+// (base, label, shard index) — independent of worker scheduling — and a
+// deterministic merge in shard order is reproducible anywhere.
+func (t *PoolTemplate) Shards(base uint64, label string, k, fixedLen int) []*PoolStream {
+	shards := make([]*PoolStream, k)
+	for i := range shards {
+		sid := fmt.Sprintf("s%03d", i)
+		shards[i] = t.streamSeeded(
+			sim.DeriveSeed(base, label, sid, "zipf"),
+			sim.DeriveSeed(base, label, sid, "payload"),
+			fixedLen,
+		)
+	}
+	return shards
+}
+
+func (t *PoolTemplate) streamSeeded(zipfSeed, rngSeed uint64, fixedLen int) *PoolStream {
+	zr := sim.NewRand(zipfSeed)
+	return &PoolStream{
+		flows:    t.flows,
+		zipf:     t.zipf.WithRand(zr),
+		zipfRng:  zr,
+		rng:      sim.NewRand(rngSeed),
+		fixedLen: fixedLen,
+	}
+}
+
+// Limit bounds the stream to n packets total and returns it (builder
+// style). Zero means unbounded.
+func (s *PoolStream) Limit(n uint64) *PoolStream {
+	s.limit = n
+	return s
+}
+
+// Next yields the next packet, or false once the Limit is reached.
+func (s *PoolStream) Next() (int, pkt.Packet, bool) {
+	if s.limit > 0 && s.pos >= s.limit {
+		return 0, pkt.Packet{}, false
+	}
+	n := s.fixedLen
+	if n == 0 {
+		n = IMIXLen(s.rng)
+	}
+	i := s.zipf.Next()
+	if cap(s.buf) < n {
+		s.buf = make([]byte, n)
+	}
+	payload := s.buf[:n]
+	s.rng.Bytes(payload)
+	s.pos++
+	return i, pkt.Packet{
+		SrcMAC:  pkt.MAC{0x02, 0, 0, 0, byte(i >> 8), byte(i)},
+		DstMAC:  pkt.MAC{0x02, 0, 0, 0, 0xFF, 0xFE},
+		Tuple:   s.flows[i],
+		Payload: payload,
+	}, true
+}
+
+// Pos returns the number of packets yielded.
+func (s *PoolStream) Pos() uint64 { return s.pos }
+
+type poolCursor struct {
+	ZipfState    uint64 `json:"zipf_state"`
+	PayloadState uint64 `json:"payload_state"`
+}
+
+// Cursor captures the stream position: both RNG states plus the packet
+// count. The flow set and CDF are construction parameters, not position,
+// so a resuming process rebuilds the stream from the same template and
+// Seeks.
+func (s *PoolStream) Cursor() Cursor {
+	return makeCursor("pool", s.pos, poolCursor{
+		ZipfState:    s.zipfRng.State(),
+		PayloadState: s.rng.State(),
+	})
+}
+
+// Seek restores a position captured by Cursor on a stream built from the
+// same template (and shard seed — the cursor carries the RNG states, so
+// mismatched construction shows up as divergent draws, not an error).
+func (s *PoolStream) Seek(c Cursor) error {
+	if err := c.check("pool"); err != nil {
+		return err
+	}
+	var pc poolCursor
+	if err := json.Unmarshal(c.Data, &pc); err != nil {
+		return fmt.Errorf("trace: pool cursor: %w", err)
+	}
+	s.zipfRng.SetState(pc.ZipfState)
+	s.rng.SetState(pc.PayloadState)
+	s.pos = c.Pos
+	return nil
+}
+
+type caidaCursor struct {
+	RngState   uint64        `json:"rng_state"`
+	Elapsed    float64       `json:"elapsed"`
+	Target     uint64        `json:"target"`
+	TotalFlows uint64        `json:"total_flows"`
+	PerFlow    int           `json:"per_flow"`
+	Remaining  int           `json:"remaining"`
+	CurIdx     int           `json:"cur_idx"`
+	Cur        pkt.FiveTuple `json:"cur"`
+}
+
+// Cursor captures the arrival process mid-flow: RNG state, horizon,
+// counters, and the in-flight tuple with its remaining repeat count.
+func (c *CAIDAStream) Cursor() Cursor {
+	return makeCursor("caida", c.pos, caidaCursor{
+		RngState:   c.rng.State(),
+		Elapsed:    c.elapsed,
+		Target:     c.target,
+		TotalFlows: c.totalFlows,
+		PerFlow:    c.perFlow,
+		Remaining:  c.remaining,
+		CurIdx:     c.curIdx,
+		Cur:        c.cur,
+	})
+}
+
+// Seek restores a position captured by Cursor: the next Next call yields
+// exactly the packet the captured stream would have yielded.
+func (c *CAIDAStream) Seek(cur Cursor) error {
+	if err := cur.check("caida"); err != nil {
+		return err
+	}
+	var cc caidaCursor
+	if err := json.Unmarshal(cur.Data, &cc); err != nil {
+		return fmt.Errorf("trace: caida cursor: %w", err)
+	}
+	c.rng.SetState(cc.RngState)
+	c.elapsed = cc.Elapsed
+	c.target = cc.Target
+	c.totalFlows = cc.TotalFlows
+	c.perFlow = cc.PerFlow
+	c.remaining = cc.Remaining
+	c.curIdx = cc.CurIdx
+	c.cur = cc.Cur
+	c.pos = cur.Pos
+	return nil
+}
+
+// CAIDAShard returns shard i of k over a CAIDA window of totalFlows
+// flows: an independent budget stream covering this shard's slice of the
+// flow population (flows split as evenly as possible, earlier shards
+// taking the remainder), seeded with sim.DeriveSeed(base, label, "s<i>")
+// so the shard's draws depend only on its identity, never on scheduling.
+func CAIDAShard(base uint64, label string, i, k int, totalFlows uint64, perFlow int) *CAIDAStream {
+	if k < 1 || i < 0 || i >= k {
+		panic("trace: CAIDAShard index out of range")
+	}
+	return NewCAIDABudget(
+		sim.DeriveRand(base, label, fmt.Sprintf("s%03d", i)),
+		ShardShare(totalFlows, i, k),
+		perFlow,
+	)
+}
+
+// ShardShare returns shard i's flow count when total flows are split
+// across k shards: total/k each, with the first total%k shards taking
+// one extra so every flow is covered exactly once.
+func ShardShare(total uint64, i, k int) uint64 {
+	share := total / uint64(k)
+	if uint64(i) < total%uint64(k) {
+		share++
+	}
+	return share
+}
+
+// Compile-time interface checks: both generators are Streams.
+var (
+	_ Stream = (*PoolStream)(nil)
+	_ Stream = (*CAIDAStream)(nil)
+)

@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"snic/internal/sim"
+)
+
+// TestPoolStreamMatchesPoolFixedLen pins the streaming generator to the
+// materialized Pool draw-for-draw: same flow indices, tuples, MACs, and
+// payload bytes for a fixed payload length.
+func TestPoolStreamMatchesPoolFixedLen(t *testing.T) {
+	tmpl := NewICTFTemplate(sim.NewRand(21), 300)
+	pool := tmpl.Pool()
+	st := tmpl.Stream(64).Limit(2000)
+	n := 0
+	for {
+		si, sp, ok := st.Next()
+		if !ok {
+			break
+		}
+		pi, pp := pool.NextPacket(64)
+		if si != pi {
+			t.Fatalf("draw %d: flow %d vs %d", n, si, pi)
+		}
+		if sp.Tuple != pp.Tuple || sp.SrcMAC != pp.SrcMAC || sp.DstMAC != pp.DstMAC {
+			t.Fatalf("draw %d: header mismatch", n)
+		}
+		if !bytes.Equal(sp.Payload, pp.Payload) {
+			t.Fatalf("draw %d: payload mismatch", n)
+		}
+		n++
+	}
+	if n != 2000 {
+		t.Fatalf("stream yielded %d packets, want 2000", n)
+	}
+}
+
+// TestPoolStreamMatchesFrames pins IMIX mode to Pool.Frames, where the
+// length draw and payload bytes interleave on one RNG stream.
+func TestPoolStreamMatchesFrames(t *testing.T) {
+	tmpl := NewICTFTemplate(sim.NewRand(22), 200)
+	frames := tmpl.Pool().Frames(500)
+	st := tmpl.Stream(0).Limit(500)
+	for i, want := range frames {
+		_, p, ok := st.Next()
+		if !ok {
+			t.Fatalf("stream exhausted at %d", i)
+		}
+		if got := p.Marshal(); !bytes.Equal(got, want) {
+			t.Fatalf("frame %d differs", i)
+		}
+	}
+}
+
+// TestNextPacketBufMatchesNextPacket pins the buffer-reusing variant to
+// the allocating one.
+func TestNextPacketBufMatchesNextPacket(t *testing.T) {
+	tmpl := NewICTFTemplate(sim.NewRand(23), 100)
+	a, b := tmpl.Pool(), tmpl.Pool()
+	for i := 0; i < 1000; i++ {
+		l := IMIXLen(sim.NewRand(uint64(i + 1)))
+		ai, ap := a.NextPacket(l)
+		bi, bp := b.NextPacketBuf(l)
+		if ai != bi || ap.Tuple != bp.Tuple || !bytes.Equal(ap.Payload, bp.Payload) {
+			t.Fatalf("draw %d diverges", i)
+		}
+	}
+}
+
+// TestPoolStreamCursorResume checks that Seek(Cursor()) — including a
+// JSON round-trip, as a checkpoint file would do — resumes the stream
+// byte-identically mid-window.
+func TestPoolStreamCursorResume(t *testing.T) {
+	tmpl := NewICTFTemplate(sim.NewRand(24), 150)
+	full := tmpl.Stream(0).Limit(1000)
+	var wantFrames [][]byte
+	cut := 437
+	var cur Cursor
+	for i := 0; i < 1000; i++ {
+		if i == cut {
+			cur = full.Cursor()
+		}
+		_, p, ok := full.Next()
+		if !ok {
+			t.Fatalf("exhausted at %d", i)
+		}
+		if i >= cut {
+			wantFrames = append(wantFrames, p.Marshal())
+		}
+	}
+
+	raw, err := json.Marshal(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Cursor
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	resumed := tmpl.Stream(0).Limit(1000)
+	if err := resumed.Seek(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Pos() != uint64(cut) {
+		t.Fatalf("pos = %d, want %d", resumed.Pos(), cut)
+	}
+	for i, want := range wantFrames {
+		_, p, ok := resumed.Next()
+		if !ok {
+			t.Fatalf("resumed stream exhausted at %d", i)
+		}
+		if !bytes.Equal(p.Marshal(), want) {
+			t.Fatalf("resumed frame %d differs", i)
+		}
+	}
+	if _, _, ok := resumed.Next(); ok {
+		t.Fatal("resumed stream ignored the limit")
+	}
+}
+
+// TestCAIDACursorResume resumes a budget stream mid-flow (the cursor
+// carries the in-flight tuple and its remaining repeats).
+func TestCAIDACursorResume(t *testing.T) {
+	mk := func() *CAIDAStream { return NewCAIDABudget(sim.NewRand(25), 500, 3) }
+	full := mk()
+	cut := 700 // not a multiple of perFlow: cuts inside a flow
+	var cur Cursor
+	type rec struct {
+		idx int
+		tup [16]byte
+	}
+	var want []rec
+	for i := 0; ; i++ {
+		if i == cut {
+			cur = full.Cursor()
+		}
+		idx, p, ok := full.Next()
+		if !ok {
+			break
+		}
+		if i >= cut {
+			want = append(want, rec{idx, p.Tuple.Key()})
+		}
+	}
+
+	raw, err := json.Marshal(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Cursor
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	resumed := mk()
+	if err := resumed.Seek(decoded); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		idx, p, ok := resumed.Next()
+		if !ok {
+			t.Fatalf("resumed exhausted at %d", i)
+		}
+		if idx != w.idx || p.Tuple.Key() != w.tup {
+			t.Fatalf("resumed packet %d diverges", i)
+		}
+	}
+	if _, _, ok := resumed.Next(); ok {
+		t.Fatal("resumed stream overran the budget")
+	}
+	if resumed.TotalFlows() != full.TotalFlows() || resumed.Pos() != full.Pos() {
+		t.Fatal("resumed counters diverge")
+	}
+}
+
+func TestCursorKindMismatch(t *testing.T) {
+	tmpl := NewICTFTemplate(sim.NewRand(26), 50)
+	ps := tmpl.Stream(64)
+	cs := NewCAIDABudget(sim.NewRand(26), 10, 1)
+	if err := ps.Seek(cs.Cursor()); err == nil {
+		t.Fatal("pool stream accepted a caida cursor")
+	}
+	if err := cs.Seek(ps.Cursor()); err == nil {
+		t.Fatal("caida stream accepted a pool cursor")
+	}
+	bad := ps.Cursor()
+	bad.Version = 99
+	if err := ps.Seek(bad); err == nil {
+		t.Fatal("accepted unknown cursor version")
+	}
+}
+
+// TestPoolShards: shard streams are pure functions of (base, label,
+// index) — rebuilt shards replay identically — and distinct shards draw
+// decorrelated payload/sampling streams over the shared flow set.
+func TestPoolShards(t *testing.T) {
+	tmpl := NewICTFTemplate(sim.NewRand(27), 120)
+	a := tmpl.Shards(7, "sweep", 4, 64)
+	b := tmpl.Shards(7, "sweep", 4, 64)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("shard counts %d/%d", len(a), len(b))
+	}
+	for s := range a {
+		for i := 0; i < 200; i++ {
+			ai, ap, _ := a[s].Next()
+			bi, bp, _ := b[s].Next()
+			if ai != bi || !bytes.Equal(ap.Payload, bp.Payload) {
+				t.Fatalf("shard %d not reproducible at draw %d", s, i)
+			}
+		}
+	}
+	// Distinct shards must not replay each other's sampling stream.
+	x := tmpl.Shards(7, "sweep", 2, 64)
+	identical := 0
+	for i := 0; i < 200; i++ {
+		xi, _, _ := x[0].Next()
+		yi, _, _ := x[1].Next()
+		if xi == yi {
+			identical++
+		}
+	}
+	if identical == 200 {
+		t.Fatal("shards 0 and 1 sample identically")
+	}
+}

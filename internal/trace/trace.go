@@ -23,6 +23,7 @@ type Pool struct {
 	flows []pkt.FiveTuple
 	zipf  *sim.Zipf
 	rng   *sim.Rand
+	buf   []byte // NextPacketBuf's reused payload buffer
 }
 
 // NewPool creates n random flows with Zipf(skew) popularity.
@@ -146,6 +147,27 @@ func (p *Pool) NextPacket(payloadLen int) (int, pkt.Packet) {
 	}
 }
 
+// NextPacketBuf is NextPacket with a pool-owned payload buffer: draw
+// order and payload bytes are identical, but the returned packet's
+// Payload aliases an internal buffer that the next NextPacketBuf call
+// overwrites. Hot loops that consume the packet before drawing the next
+// one (profiling, frame recording — Marshal copies) use this to avoid a
+// per-packet allocation; callers that retain payloads use NextPacket.
+func (p *Pool) NextPacketBuf(payloadLen int) (int, pkt.Packet) {
+	i := p.zipf.Next()
+	if cap(p.buf) < payloadLen {
+		p.buf = make([]byte, payloadLen)
+	}
+	payload := p.buf[:payloadLen]
+	p.rng.Bytes(payload)
+	return i, pkt.Packet{
+		SrcMAC:  pkt.MAC{0x02, 0, 0, 0, byte(i >> 8), byte(i)},
+		DstMAC:  pkt.MAC{0x02, 0, 0, 0, 0xFF, 0xFE},
+		Tuple:   p.flows[i],
+		Payload: payload,
+	}
+}
+
 // IMIXLen samples a payload length from a simple IMIX-like mix
 // (~58% small, 33% medium, 9% large), matching typical datacenter blends.
 func IMIXLen(rng *sim.Rand) int {
@@ -162,13 +184,23 @@ func IMIXLen(rng *sim.Rand) int {
 // CAIDAStream models the one-hour CAIDA-like trace as an arrival process:
 // new flows appear continuously, and packets are drawn from live flows
 // with heavy-tailed per-flow packet counts (mean ~50, like 1.34 G packets
-// over 26.7 M flows).
+// over 26.7 M flows). It is a constant-memory iterator: Advance (or
+// AdvanceFlows) extends the generation horizon without materializing
+// anything, and Next yields one packet at a time — the flow keys appear
+// in exactly the order the old slice-returning Advance emitted them
+// (each new flow's tuple repeated perFlow consecutive times), so a drain
+// loop over Next is draw-for-draw identical to ranging over the slice.
 type CAIDAStream struct {
 	rng        *sim.Rand
 	flowRate   float64 // new flows per simulated second
 	elapsed    float64 // seconds
-	nextID     uint64
-	totalFlows uint64
+	target     uint64  // flows the horizon covers; Next stops when reached
+	totalFlows uint64  // distinct flows emitted so far
+	perFlow    int     // packets per flow within the current horizon
+	remaining  int     // packets left for the current flow
+	cur        pkt.FiveTuple
+	curIdx     int    // flow index of cur (0-based arrival order)
+	pos        uint64 // packets yielded over the stream's lifetime
 }
 
 // NewCAIDA creates a stream introducing flowRate new flows per second.
@@ -180,24 +212,62 @@ func NewCAIDA(rng *sim.Rand, flowRate float64) *CAIDAStream {
 	return &CAIDAStream{rng: rng, flowRate: flowRate}
 }
 
-// Advance moves simulated time forward by dt seconds and returns the flow
-// keys (new and recurring) observed in that interval. The recurrence mix
-// approximates the trace's 50:1 packet:flow ratio with Zipf-ish reuse of
-// recent flows.
-func (c *CAIDAStream) Advance(dt float64, perFlowPackets int) []pkt.FiveTuple {
-	c.elapsed += dt
-	target := uint64(c.elapsed * c.flowRate)
-	var out []pkt.FiveTuple
-	for c.totalFlows < target {
-		ft := randomTuple(c.rng)
-		c.totalFlows++
-		c.nextID++
-		for p := 0; p < perFlowPackets; p++ {
-			out = append(out, ft)
-		}
+// NewCAIDABudget creates a stream with an explicit flow budget instead of
+// an arrival rate: exactly flows distinct flows, perFlow packets each.
+// Shard replay uses this form — each shard owns a fixed slice of the
+// window's flow population rather than a slice of simulated time.
+func NewCAIDABudget(rng *sim.Rand, flows uint64, perFlow int) *CAIDAStream {
+	if perFlow < 1 {
+		perFlow = 1
 	}
-	return out
+	return &CAIDAStream{rng: rng, flowRate: 1, target: flows, perFlow: perFlow}
 }
+
+// Advance moves simulated time forward by dt seconds, extending the
+// horizon Next generates toward. perFlowPackets sets how many packets
+// each newly arrived flow contributes (the trace's ~50:1 packet:flow
+// ratio). It allocates nothing; call Next to drain the interval.
+func (c *CAIDAStream) Advance(dt float64, perFlowPackets int) {
+	if perFlowPackets < 1 {
+		perFlowPackets = 1
+	}
+	c.elapsed += dt
+	c.target = uint64(c.elapsed * c.flowRate)
+	c.perFlow = perFlowPackets
+}
+
+// AdvanceFlows extends the horizon by an explicit number of new flows,
+// for callers that think in flow budgets rather than simulated seconds.
+func (c *CAIDAStream) AdvanceFlows(flows uint64, perFlowPackets int) {
+	if perFlowPackets < 1 {
+		perFlowPackets = 1
+	}
+	c.target += flows
+	c.perFlow = perFlowPackets
+}
+
+// Next yields the next packet inside the advanced horizon: the flow's
+// 0-based arrival index, a packet carrying its five-tuple, and false once
+// the horizon is drained (Advance again to continue). The tuple draw
+// order matches the pre-streaming implementation exactly: one randomTuple
+// per new flow, repeated perFlow consecutive times.
+func (c *CAIDAStream) Next() (int, pkt.Packet, bool) {
+	if c.remaining == 0 {
+		if c.totalFlows >= c.target {
+			return 0, pkt.Packet{}, false
+		}
+		c.cur = randomTuple(c.rng)
+		c.curIdx = int(c.totalFlows)
+		c.totalFlows++
+		c.remaining = c.perFlow
+	}
+	c.remaining--
+	c.pos++
+	return c.curIdx, pkt.Packet{Tuple: c.cur}, true
+}
+
+// Pos returns the number of packets the stream has yielded.
+func (c *CAIDAStream) Pos() uint64 { return c.pos }
 
 // TotalFlows returns the number of distinct flows generated so far.
 func (c *CAIDAStream) TotalFlows() uint64 { return c.totalFlows }

@@ -66,9 +66,21 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// drain exhausts the advanced horizon and returns the packet count.
+func drain(c *CAIDAStream) int {
+	n := 0
+	for {
+		if _, _, ok := c.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
 func TestCAIDAFlowRate(t *testing.T) {
 	c := NewCAIDA(sim.NewRand(5), 1000)
 	c.Advance(10, 1)
+	drain(c)
 	if c.TotalFlows() != 10000 {
 		t.Fatalf("flows = %d, want 10000", c.TotalFlows())
 	}
@@ -77,6 +89,7 @@ func TestCAIDAFlowRate(t *testing.T) {
 func TestCAIDADefaultRate(t *testing.T) {
 	c := NewCAIDA(sim.NewRand(5), 0)
 	c.Advance(60, 1) // one minute at the CAIDA-like default rate
+	drain(c)
 	got := float64(c.TotalFlows())
 	if got < 26.7e6/60*0.99 || got > 26.7e6/60*1.01 {
 		t.Fatalf("minute of flows = %v, want ~445k", got)
@@ -85,9 +98,77 @@ func TestCAIDADefaultRate(t *testing.T) {
 
 func TestCAIDAPerFlowPackets(t *testing.T) {
 	c := NewCAIDA(sim.NewRand(6), 100)
-	pkts := c.Advance(1, 3)
-	if len(pkts) != 300 {
-		t.Fatalf("packets = %d", len(pkts))
+	c.Advance(1, 3)
+	if got := drain(c); got != 300 {
+		t.Fatalf("packets = %d", got)
+	}
+	if c.Pos() != 300 {
+		t.Fatalf("pos = %d", c.Pos())
+	}
+}
+
+func TestCAIDAIncrementalAdvanceMatchesOneShot(t *testing.T) {
+	// Draining in many small Advance steps must yield the same tuple
+	// sequence as one big step: the horizon only controls when Next stops,
+	// never what it generates.
+	one := NewCAIDA(sim.NewRand(9), 500)
+	one.Advance(10, 2)
+	inc := NewCAIDA(sim.NewRand(9), 500)
+	for step := 0; step < 100; step++ {
+		inc.Advance(0.1, 2)
+		for {
+			wantIdx, wantPkt, ok := inc.Next()
+			if !ok {
+				break
+			}
+			gotIdx, gotPkt, ok := one.Next()
+			if !ok {
+				t.Fatal("one-shot stream exhausted early")
+			}
+			if gotIdx != wantIdx || gotPkt.Tuple != wantPkt.Tuple {
+				t.Fatalf("diverged at pos %d", one.Pos())
+			}
+		}
+	}
+	if one.Pos() != inc.Pos() || one.TotalFlows() != inc.TotalFlows() {
+		t.Fatalf("pos %d vs %d, flows %d vs %d", one.Pos(), inc.Pos(), one.TotalFlows(), inc.TotalFlows())
+	}
+}
+
+func TestCAIDABudgetShares(t *testing.T) {
+	var sum uint64
+	for i := 0; i < 7; i++ {
+		c := CAIDAShard(42, "window", i, 7, 1000, 3)
+		c.AdvanceFlows(0, 3) // no-op extension must not change the budget
+		if got := drain(c); got != int(ShardShare(1000, i, 7))*3 {
+			t.Fatalf("shard %d drained %d packets", i, got)
+		}
+		sum += c.TotalFlows()
+	}
+	if sum != 1000 {
+		t.Fatalf("shards cover %d flows, want 1000", sum)
+	}
+}
+
+func TestCAIDAShardsAreDecorrelated(t *testing.T) {
+	a := CAIDAShard(42, "window", 0, 4, 400, 1)
+	b := CAIDAShard(42, "window", 1, 4, 400, 1)
+	same := 0
+	for {
+		_, pa, ok := a.Next()
+		if !ok {
+			break
+		}
+		_, pb, ok := b.Next()
+		if !ok {
+			break
+		}
+		if pa.Tuple == pb.Tuple {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("%d identical tuples across shards", same)
 	}
 }
 
