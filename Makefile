@@ -4,9 +4,10 @@ GO ?= go
 # green. `race` exercises the experiment engine's worker pool across all
 # packages; the exp tests include worker-count-invariance and golden-file
 # checks, so this target is the full reproducibility gate. `lint` is the
-# invariant gate: sniclint enforces the determinism, factory, seed, and
-# stdlib-only rules the goldens depend on (see DESIGN.md "Enforced
-# invariants").
+# invariant gate: sniclint builds the whole-module call graph and
+# enforces the isolation-boundary, transitive-determinism,
+# lock-discipline, factory, seed, and stdlib-only rules the goldens
+# depend on (see DESIGN.md "Enforced invariants").
 .PHONY: verify
 verify: build vet lint test race fleet resume
 
@@ -86,9 +87,9 @@ golden:
 # "post" by convention; record a pre-change tree with
 # BENCH_SECTION=baseline) and compared with `snicperf` — see
 # EXPERIMENTS.md "Benchmark trajectory".
-BENCH_FILE ?= BENCH_7.json
+BENCH_FILE ?= BENCH_8.json
 BENCH_SECTION ?= post
-BENCH_PR ?= 7
+BENCH_PR ?= 8
 BENCH_PATTERN ?= .
 .PHONY: bench
 bench:

@@ -22,6 +22,7 @@ import (
 	"snic/internal/cache"
 	"snic/internal/exp"
 	"snic/internal/hwmodel"
+	"snic/internal/lint"
 	"snic/internal/nf"
 	"snic/internal/pkt"
 	"snic/internal/pktio"
@@ -463,6 +464,32 @@ func BenchmarkCAIDAStreamDraw(b *testing.B) {
 			b.Fatal("caida stream ended")
 		}
 	}
+}
+
+// --- Lint self-analysis ----------------------------------------------------
+
+// BenchmarkSniclintSelf measures the full sniclint gate end to end:
+// discover, parse, and type-check every package in the module, then run
+// the complete check registry (including waiver validation). This is
+// what `make lint` and lint's TestModuleIsClean pay on every run, so a
+// regression here slows every CI round and local verify; snicperf gates
+// it like the simulator benchmarks. A fresh Loader per iteration is
+// deliberate — load+typecheck dominates real invocations.
+func BenchmarkSniclintSelf(b *testing.B) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var findings int
+	for i := 0; i < b.N; i++ {
+		loader := lint.NewLoader("snic", root)
+		pkgs, err := loader.LoadPatterns(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		findings = len(lint.Run(loader.Fset, pkgs, lint.Registry()))
+	}
+	b.ReportMetric(float64(findings), "findings")
 }
 
 // TestSteadyStateDrawAllocations pins the satellite claim behind the

@@ -1,13 +1,17 @@
 // Command sniclint runs the module's invariant checks — the static
-// gates behind the reproduction's determinism, factory, and purity
+// gates behind the reproduction's determinism, isolation, and purity
 // guarantees. Usage:
 //
-//	sniclint ./...                        # whole module (what make lint runs)
-//	sniclint -checks determinism ./...    # one check
-//	sniclint -json ./internal/...         # machine-readable findings
-//	sniclint -list                        # check IDs and what they guard
+//	sniclint ./...                             # whole module (what make lint runs)
+//	sniclint -checks map-order ./...           # one check
+//	sniclint -format json ./internal/...       # machine-readable findings
+//	sniclint -format sarif ./... > lint.sarif  # SARIF 2.1.0 for code-scanning UIs
+//	sniclint -list                             # check IDs and what they guard
 //
-// Findings can be waived per site with //lint:allow <check-id> <reason>.
+// The interprocedural checks (isolation-boundary, transitive-determinism,
+// lock-discipline) print the call path that makes each finding reachable.
+// Findings can be waived per site with //lint:allow <check-id> <reason>;
+// stale waivers are findings themselves.
 // Exit status: 0 clean, 1 findings, 2 usage or load errors.
 package main
 
@@ -22,20 +26,28 @@ import (
 
 func main() {
 	checkList := flag.String("checks", "", "comma-separated check IDs to run (default: all)")
-	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON (alias for -format json)")
 	list := flag.Bool("list", false, "list check IDs and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: sniclint [-checks id,id] [-json] [packages]\n")
+			"usage: sniclint [-checks id,id] [-format text|json|sarif] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, c := range lint.Registry() {
-			fmt.Printf("%-20s %s\n", c.Name(), c.Doc())
+			fmt.Printf("%-24s %s\n", c.Name(), c.Doc())
 		}
 		return
+	}
+	if *jsonOut {
+		*format = "json"
+	}
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "sniclint: unknown format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
 	}
 
 	checks, err := lint.Select(strings.Split(*checkList, ","))
@@ -64,18 +76,26 @@ func main() {
 
 	diags := lint.Run(loader.Fset, pkgs, checks)
 	trim := root + string(os.PathSeparator)
-	if *jsonOut {
+	switch *format {
+	case "json":
 		out, err := lint.RenderJSON(diags, trim)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sniclint:", err)
 			os.Exit(2)
 		}
 		fmt.Print(out)
-	} else {
+	case "sarif":
+		out, err := lint.RenderSARIF(diags, trim)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sniclint:", err)
+			os.Exit(2)
+		}
+		fmt.Print(out)
+	default:
 		fmt.Print(lint.RenderText(diags, trim))
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if *format == "text" {
 			fmt.Fprintf(os.Stderr, "sniclint: %d finding(s)\n", len(diags))
 		}
 		os.Exit(1)

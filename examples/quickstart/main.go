@@ -39,7 +39,7 @@ func run() error {
 	dev, vendor := adapter.Underlying(), adapter.Vendor()
 	osd := nicos.New(dev)
 	fmt.Println("S-NIC up:", dev.Cores(), "programmable cores,",
-		dev.Memory().Size()>>20, "MB DRAM")
+		adapter.MemBytes()>>20, "MB DRAM")
 
 	// 2. The tenant's firewall policy: drop cleartext HTTP, allow HTTPS
 	// (no matching rule means pass). Decisions are cached per flow.

@@ -37,7 +37,7 @@ import (
 // test-injected Config.Wall); none of it ever reaches experiment
 // results, metric dumps, or trace files.
 //
-//lint:allow determinism the single sanctioned wall-clock site; readings feed only -v observability, never results
+//lint:allow transitive-determinism the single sanctioned wall-clock site; readings feed only -v observability, never results
 var defaultWall = obs.NewWall(time.Now)
 
 // Job is one independent unit of an experiment sweep. Run must be

@@ -275,13 +275,13 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	// The northbound export endpoint is the sanctioned reader: it runs
 	// on the API path, never inside the simulation.
-	//lint:allow obs-discipline northbound metrics export endpoint, not a simulation-path reader
+	//lint:allow transitive-determinism northbound metrics export endpoint, not a simulation-path reader
 	fmt.Fprint(w, a.m.cfg.Obs.DumpMetrics())
 }
 
 // handleTrace serves the registry's deterministic text trace.
 func (a *API) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	//lint:allow obs-discipline northbound trace export endpoint, not a simulation-path reader
+	//lint:allow transitive-determinism northbound trace export endpoint, not a simulation-path reader
 	fmt.Fprint(w, a.m.cfg.Obs.TraceText())
 }

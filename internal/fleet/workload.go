@@ -93,6 +93,12 @@ func (m *Manager) Burst(spec WorkloadSpec) (BurstResult, error) {
 			},
 		}
 	}
+	// Holding mu across the fan-out is the determinism contract, not an
+	// oversight: the lock is what gives each engine job exclusive
+	// ownership of its device for the whole burst, and the jobs never
+	// re-enter the manager. Serializing bursts against control-plane
+	// mutations is exactly the semantics the scenario goldens pin.
+	//lint:allow lock-discipline burst jobs own their devices exclusively under mu and never re-enter the manager; serialization is the determinism contract
 	results, _, err := engine.Run(engine.Config{
 		Workers: m.cfg.Workers,
 		Seed:    m.cfg.Seed,

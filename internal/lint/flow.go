@@ -1,0 +1,84 @@
+package lint
+
+// flow.go is the reachability/dataflow layer over the call graph:
+// forward reachability ("which functions can a simulation-path entry
+// point ever run?") and shortest explanatory paths ("how does this
+// sink get reached?"). Both traversals are plain BFS in deterministic
+// edge order, so the call path printed in a diagnostic is stable — the
+// goldens pin it.
+
+// Reachable returns the set of nodes reachable from roots by following
+// call edges forward (the roots themselves included).
+func (g *Graph) Reachable(roots []*Node) map[*Node]bool {
+	seen := make(map[*Node]bool)
+	var queue []*Node
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// PathFromRoot walks the reverse edges from target and returns the
+// shortest chain root → … → target where root is the nearest node
+// satisfying isRoot. When target itself is a root the path is just
+// [target]; when nothing upstream qualifies it returns [target] too,
+// so callers always get a non-empty chain ending at the sink's
+// enclosing function. Ties at equal depth resolve in the graph's
+// deterministic reverse-edge order.
+func (g *Graph) PathFromRoot(target *Node, isRoot func(*Node) bool) []*Node {
+	if target == nil {
+		return nil
+	}
+	if isRoot(target) {
+		return []*Node{target}
+	}
+	next := map[*Node]*Node{target: nil} // node -> successor toward target
+	queue := []*Node{target}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.In {
+			from := e.From
+			if _, ok := next[from]; ok {
+				continue
+			}
+			next[from] = n
+			if isRoot(from) {
+				path := []*Node{}
+				for cur := from; cur != nil; cur = next[cur] {
+					path = append(path, cur)
+				}
+				return path
+			}
+			queue = append(queue, from)
+		}
+	}
+	return []*Node{target}
+}
+
+// CallPath renders a node chain plus a final callee as the display
+// strings a Diagnostic carries: ["fleet.Manager.Advance", "engine.Run",
+// "time.Now"].
+func CallPath(chain []*Node, sink *Node) []string {
+	out := make([]string, 0, len(chain)+1)
+	for _, n := range chain {
+		out = append(out, n.Name)
+	}
+	if sink != nil {
+		out = append(out, sink.Name)
+	}
+	return out
+}

@@ -1,15 +1,24 @@
 // Package lint is a stdlib-only static-analysis framework that enforces
-// the simulator's determinism, factory, and purity invariants at build
-// time. It loads every package in the module with go/parser and
+// the simulator's determinism, isolation, and purity invariants at
+// build time. It loads every package in the module with go/parser and
 // type-checks it with go/types (no golang.org/x/tools), then runs a
 // registry of named checks, each producing position-tagged diagnostics
 // with machine-readable check IDs.
 //
-// The invariants it guards are the ones the reproduction's credibility
+// Checks come in two shapes. A PackageCheck inspects one package at a
+// time (imports, literals, map iteration). A ProgramCheck sees the
+// whole loaded program at once through a call graph (callgraph.go) and
+// a reachability layer (flow.go), so it can follow an invariant through
+// any helper chain; its diagnostics carry the full call path, rendered
+// as "fleet.Manager.Advance → engine.Run → time.Now".
+//
+// The invariants guarded are the ones the reproduction's credibility
 // rests on: simulated time never reads the wall clock, all randomness
 // flows through sim.DeriveSeed/DeriveRand so golden files are
-// byte-identical at any -workers count, devices are built only through
-// the internal/device factory, and the module stays pure stdlib.
+// byte-identical at any -workers count, NF backing memory is only
+// touched through owner-checked entry points, the fleet manager's lock
+// discipline holds, devices are built only through the internal/device
+// factory, and the module stays pure stdlib.
 //
 // A finding can be waived at a specific site with a comment:
 //
@@ -18,7 +27,8 @@
 // The waiver suppresses exactly the named check on its own line and on
 // the line immediately below (so it works both as a trailing comment and
 // as a standalone comment above the offending statement). A waiver with
-// no reason, or naming an unknown check, is itself a diagnostic.
+// no reason, naming an unknown check, or suppressing nothing is itself
+// a diagnostic — stale allows cannot accumulate.
 package lint
 
 import (
@@ -31,32 +41,72 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding: a check ID, a source position, and a
-// human-readable message.
+// Diagnostic is one finding: a check ID, a source position, a
+// human-readable message, and — for interprocedural findings — the
+// call chain from the nearest entry point to the sink.
 type Diagnostic struct {
 	Check   string
 	Pos     token.Position
 	Message string
+	Path    []string // root → … → sink; empty for syntactic findings
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s [%s]",
-		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Check)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%d:%d: %s",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+	if len(d.Path) > 0 {
+		fmt.Fprintf(&b, " (path: %s)", strings.Join(d.Path, " → "))
+	}
+	fmt.Fprintf(&b, " [%s]", d.Check)
+	return b.String()
 }
 
-// Check is one named invariant. Run inspects a single package and
-// returns its findings; waiver filtering is applied by the framework,
-// so checks report every violation unconditionally.
+// Check is one named invariant. Every check also implements
+// PackageCheck or ProgramCheck (or both); the framework dispatches on
+// which.
 type Check interface {
-	Name() string // machine-readable ID, e.g. "determinism"
+	Name() string // machine-readable ID, e.g. "transitive-determinism"
 	Doc() string  // one-line description for -list output and docs
+}
+
+// PackageCheck inspects a single package and returns its findings;
+// waiver filtering is applied by the framework, so checks report every
+// violation unconditionally.
+type PackageCheck interface {
+	Check
 	Run(p *Pass) []Diagnostic
 }
 
-// Pass hands one loaded package to a check.
+// ProgramCheck inspects the whole loaded program at once, with the
+// call graph available through prog.Graph().
+type ProgramCheck interface {
+	Check
+	RunProgram(prog *Program) []Diagnostic
+}
+
+// Pass hands one loaded package to a package check.
 type Pass struct {
 	Fset *token.FileSet
 	Pkg  *Package
+}
+
+// Program hands the whole loaded package set to a program check. The
+// call graph is built once, on first use, and shared by every check in
+// the run.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	graph *Graph
+}
+
+// Graph returns the whole-program call graph, building it on first use.
+func (prog *Program) Graph() *Graph {
+	if prog.graph == nil {
+		prog.graph = buildGraph(prog.Fset, prog.Pkgs)
+	}
+	return prog.graph
 }
 
 // diag constructs a Diagnostic for node at its position.
@@ -106,12 +156,13 @@ func importLocalName(f *ast.File, path string) string {
 // Registry returns the full check set in stable (sorted) order.
 func Registry() []Check {
 	checks := []Check{
-		Determinism{},
 		MapOrder{},
 		Factory{},
-		ObsDiscipline{},
 		Seed{},
 		StdlibOnly{},
+		TransDeterminism{},
+		IsolationBoundary{},
+		LockDiscipline{},
 	}
 	sort.Slice(checks, func(i, j int) bool { return checks[i].Name() < checks[j].Name() })
 	return checks
@@ -149,31 +200,58 @@ func Select(names []string) ([]Check, error) {
 }
 
 // Run executes checks over pkgs, applies //lint:allow waivers, validates
-// the waivers themselves, and returns the surviving diagnostics sorted
-// by position. The returned slice is empty (not nil) on a clean tree so
-// callers can len() it without nil checks.
+// the waivers themselves (including flagging waivers that suppressed
+// nothing), and returns the surviving diagnostics sorted by position.
+// The returned slice is empty (not nil) on a clean tree so callers can
+// len() it without nil checks.
 func Run(fset *token.FileSet, pkgs []*Package, checks []Check) []Diagnostic {
 	known := make(map[string]bool)
 	for _, c := range Registry() {
 		known[c.Name()] = true
 	}
+	running := make(map[string]bool, len(checks))
+	for _, c := range checks {
+		running[c.Name()] = true
+	}
 
 	diags := []Diagnostic{}
-	var waivers []waiver
+	var waivers []*waiver
 	for _, pkg := range pkgs {
 		pass := &Pass{Fset: fset, Pkg: pkg}
 		for _, c := range checks {
-			diags = append(diags, c.Run(pass)...)
+			if pc, ok := c.(PackageCheck); ok {
+				diags = append(diags, pc.Run(pass)...)
+			}
 		}
 		w, bad := parseWaivers(fset, pkg, known)
 		waivers = append(waivers, w...)
 		diags = append(diags, bad...)
 	}
 
+	prog := &Program{Fset: fset, Pkgs: pkgs}
+	for _, c := range checks {
+		if pc, ok := c.(ProgramCheck); ok {
+			diags = append(diags, pc.RunProgram(prog)...)
+		}
+	}
+
 	kept := diags[:0]
 	for _, d := range diags {
-		if !suppressed(d, waivers) {
+		if w := coveringWaiver(d, waivers); w != nil {
+			w.used = true
+		} else {
 			kept = append(kept, d)
+		}
+	}
+	// A waiver that suppressed nothing under the checks actually run is
+	// stale: either the violation was fixed (delete the comment) or the
+	// comment sits on the wrong line (move it).
+	for _, w := range waivers {
+		if !w.used && !w.test && running[w.check] {
+			kept = append(kept, Diagnostic{
+				Check: "waiver", Pos: w.pos,
+				Message: "waiver for " + quote(w.check) + " suppresses nothing: fix the line or delete the stale allow",
+			})
 		}
 	}
 	sortDiagnostics(kept)
@@ -212,14 +290,16 @@ func RenderText(ds []Diagnostic, trimPrefix string) string {
 }
 
 // RenderJSON formats diagnostics as a JSON array of objects with check,
-// file, line, col, and message fields.
+// file, line, col, message, and (for interprocedural findings) path
+// fields.
 func RenderJSON(ds []Diagnostic, trimPrefix string) (string, error) {
 	type rec struct {
-		Check   string `json:"check"`
-		File    string `json:"file"`
-		Line    int    `json:"line"`
-		Col     int    `json:"col"`
-		Message string `json:"message"`
+		Check   string   `json:"check"`
+		File    string   `json:"file"`
+		Line    int      `json:"line"`
+		Col     int      `json:"col"`
+		Message string   `json:"message"`
+		Path    []string `json:"path,omitempty"`
 	}
 	recs := make([]rec, 0, len(ds))
 	for _, d := range ds {
@@ -229,6 +309,7 @@ func RenderJSON(ds []Diagnostic, trimPrefix string) (string, error) {
 			Line:    d.Pos.Line,
 			Col:     d.Pos.Column,
 			Message: d.Message,
+			Path:    d.Path,
 		})
 	}
 	out, err := json.MarshalIndent(recs, "", "  ")

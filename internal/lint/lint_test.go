@@ -66,12 +66,13 @@ func TestGoldenDiagnostics(t *testing.T) {
 // fixture package built to violate it, and nothing else fires there.
 func TestEachCheckFiresOnItsFixture(t *testing.T) {
 	fixtureFor := map[string]string{
-		"determinism":        "internal/determfix",
-		"map-order":          "internal/mapfix",
-		"factory-discipline": "internal/factoryfix",
-		"obs-discipline":     "internal/obsfix",
-		"seed-discipline":    "internal/seedfix",
-		"stdlib-only":        "internal/importfix",
+		"transitive-determinism": "internal/transfix",
+		"map-order":              "internal/mapfix",
+		"factory-discipline":     "internal/factoryfix",
+		"isolation-boundary":     "internal/isofix",
+		"lock-discipline":        "internal/fleet",
+		"seed-discipline":        "internal/seedfix",
+		"stdlib-only":            "internal/importfix",
 	}
 	loader, pkgs := loadFixtures(t)
 	diags := Run(loader.Fset, pkgs, Registry())
@@ -120,13 +121,15 @@ func TestWaiverScoping(t *testing.T) {
 		byCheck[d.Check] = append(byCheck[d.Check], d.Pos.Line)
 	}
 	// Five time.Now sites; the two correctly waived ones are silent.
-	if got := len(byCheck["determinism"]); got != 3 {
-		t.Errorf("determinism findings = %d (%v), want 3: only the valid waivers suppress",
-			got, byCheck["determinism"])
+	if got := len(byCheck["transitive-determinism"]); got != 3 {
+		t.Errorf("transitive-determinism findings = %d (%v), want 3: only the valid waivers suppress",
+			got, byCheck["transitive-determinism"])
 	}
-	// The reasonless and unknown-check waivers are findings of their own.
-	if got := len(byCheck["waiver"]); got != 2 {
-		t.Errorf("waiver findings = %d (%v), want 2", got, byCheck["waiver"])
+	// The reasonless and unknown-check waivers are findings of their own,
+	// and so is the wrong-check waiver: it suppressed nothing, so it is
+	// reported stale.
+	if got := len(byCheck["waiver"]); got != 3 {
+		t.Errorf("waiver findings = %d (%v), want 3", got, byCheck["waiver"])
 	}
 	// The valid waivers' lines must not appear among the findings.
 	src, err := os.ReadFile(filepath.Join(fixtureRoot, "internal/waivedfix/waivedfix.go"))
@@ -135,7 +138,7 @@ func TestWaiverScoping(t *testing.T) {
 	}
 	for i, line := range strings.Split(string(src), "\n") {
 		if strings.Contains(line, "demonstrating a") { // the two valid waivers
-			for _, l := range byCheck["determinism"] {
+			for _, l := range byCheck["transitive-determinism"] {
 				if l == i+1 || l == i+2 {
 					t.Errorf("line %d: finding survived a valid waiver", l)
 				}
@@ -147,7 +150,7 @@ func TestWaiverScoping(t *testing.T) {
 // TestSelect covers the -checks plumbing: named subsets run alone,
 // unknown IDs are usage errors, empty input means everything.
 func TestSelect(t *testing.T) {
-	cs, err := Select([]string{"determinism", "stdlib-only"})
+	cs, err := Select([]string{"transitive-determinism", "stdlib-only"})
 	if err != nil || len(cs) != 2 {
 		t.Fatalf("Select two = %v, %v", cs, err)
 	}

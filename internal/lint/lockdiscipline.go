@@ -1,0 +1,413 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// fleetPath is the package whose lock discipline the check enforces.
+const fleetPath = "snic/internal/fleet"
+
+// LockDiscipline enforces the fleet manager's concurrency contract
+// around Manager.mu, the one lock in the control plane:
+//
+//  1. No deadlock: a function that acquires mu must not transitively
+//     call another mu-acquiring function — with defer-Unlock bodies and
+//     a non-reentrant sync.Mutex that is a guaranteed self-deadlock.
+//  2. Exported mutators lock: an exported Manager method that
+//     transitively writes guarded state (Manager fields and the fleet
+//     structs hanging off them) without acquiring mu hands callers a
+//     data race.
+//  3. No blocking fan-out under the lock: a mu-holding function must
+//     not transitively enter engine.Run* or net/http handler code —
+//     the burst fan-out and the northbound API are exactly the places
+//     a held manager lock turns into fleet-wide head-of-line blocking,
+//     so any such chain must be explicitly waived with its ownership
+//     argument.
+//
+// All three rules are interprocedural: the violating call can hide any
+// number of helpers deep, and the diagnostic prints the chain.
+type LockDiscipline struct{}
+
+func (LockDiscipline) Name() string { return "lock-discipline" }
+
+func (LockDiscipline) Doc() string {
+	return "enforce fleet.Manager.mu discipline: exported mutators lock, no transitive double-lock, no engine/http fan-out under the lock"
+}
+
+func (c LockDiscipline) RunProgram(prog *Program) []Diagnostic {
+	var fleet *Package
+	for _, pkg := range prog.Pkgs {
+		if pkg.Path == fleetPath {
+			fleet = pkg
+		}
+	}
+	if fleet == nil || fleet.Types == nil {
+		return nil // no fleet package in this tree (partial loads)
+	}
+	manager := managerType(fleet)
+	if manager == nil {
+		return nil
+	}
+	g := prog.Graph()
+
+	guarded := guardedTypes(fleet, manager)
+	locks := make(map[*Node]bool)
+	writes := make(map[*Node]bool)
+	for _, n := range g.Nodes {
+		if n.Pkg != fleet || n.Decl == nil || n.Decl.Body == nil {
+			continue
+		}
+		if acquiresMu(fleet.TypesInfo, n.Decl.Body, manager) {
+			locks[n] = true
+		}
+		if writesGuarded(fleet.TypesInfo, n.Decl.Body, guarded) {
+			writes[n] = true
+		}
+	}
+
+	var diags []Diagnostic
+	diags = append(diags, c.checkUnlockedMutators(g, manager, locks, writes)...)
+	seen := make(map[token.Position]bool)
+	for _, n := range g.Nodes {
+		if !locks[n] {
+			continue
+		}
+		diags = append(diags, c.checkUnderLock(n, locks, seen)...)
+	}
+	return diags
+}
+
+// checkUnlockedMutators is rule 2: every exported Manager method that
+// transitively reaches a guarded-state write without passing through a
+// mu-acquiring function must itself lock.
+func (c LockDiscipline) checkUnlockedMutators(g *Graph, manager *types.Named, locks, writes map[*Node]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, n := range g.Nodes {
+		if !isManagerMethod(n, manager) || !n.Fn.Exported() || locks[n] {
+			continue
+		}
+		chain := findChain(n, locks, func(m *Node) bool { return writes[m] })
+		if chain == nil {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Check: c.Name(), Pos: n.Pos,
+			Message: "exported method fleet.Manager." + n.Fn.Name() +
+				" mutates guarded state without acquiring m.mu: exported mutators must lock",
+			Path: CallPath(chain, nil),
+		})
+	}
+	return diags
+}
+
+// checkUnderLock covers rules 1 and 3 for one mu-acquiring function:
+// starting from its callees, any path that reaches another mu-acquiring
+// function (deadlock) or a blocking fan-out sink (engine.Run*,
+// net/http) without first passing through a different lock acquisition
+// is a finding, reported at the final call site so the waiver sits
+// where the ownership argument belongs.
+func (c LockDiscipline) checkUnderLock(start *Node, locks map[*Node]bool, seen map[token.Position]bool) []Diagnostic {
+	var diags []Diagnostic
+	report := func(e *CallEdge, chain []*Node, msg string) {
+		if seen[e.Pos] {
+			return
+		}
+		seen[e.Pos] = true
+		diags = append(diags, Diagnostic{
+			Check: c.Name(), Pos: e.Pos, Message: msg, Path: CallPath(chain, e.To),
+		})
+	}
+	visited := map[*Node]bool{start: true}
+	parent := map[*Node]*CallEdge{}
+	queue := []*Node{start}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			to := e.To
+			if visited[to] {
+				continue
+			}
+			chain := chainTo(start, n, parent)
+			switch {
+			case locks[to]:
+				report(e, chain, "calls mu-acquiring "+to.Name+" while holding fleet.Manager.mu: sync.Mutex is not reentrant, this self-deadlocks")
+				continue // do not descend past the second acquisition
+			case blockingSink(to):
+				report(e, chain, "enters "+to.Name+" while holding fleet.Manager.mu: blocking fan-out under the manager lock stalls the whole fleet")
+				continue
+			}
+			visited[to] = true
+			parent[to] = e
+			queue = append(queue, to)
+		}
+	}
+	return diags
+}
+
+// chainTo reconstructs the BFS chain start → … → n from the parent map.
+func chainTo(start, n *Node, parent map[*Node]*CallEdge) []*Node {
+	var rev []*Node
+	for cur := n; cur != start; {
+		rev = append(rev, cur)
+		cur = parent[cur].From
+	}
+	rev = append(rev, start)
+	chain := make([]*Node, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		chain = append(chain, rev[i])
+	}
+	return chain
+}
+
+// findChain BFS-walks from n (inclusive) over call edges, refusing to
+// descend into mu-acquiring functions (they are internally consistent),
+// and returns the chain to the first node satisfying hit, or nil.
+func findChain(n *Node, locks map[*Node]bool, hit func(*Node) bool) []*Node {
+	if hit(n) {
+		return []*Node{n}
+	}
+	visited := map[*Node]bool{n: true}
+	parent := map[*Node]*CallEdge{}
+	queue := []*Node{n}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range cur.Out {
+			to := e.To
+			if visited[to] || locks[to] {
+				continue
+			}
+			visited[to] = true
+			parent[to] = e
+			if hit(to) {
+				return chainTo(n, to, parent)
+			}
+			queue = append(queue, to)
+		}
+	}
+	return nil
+}
+
+// blockingSink reports whether entering n while holding the manager
+// lock serializes the fleet: the engine's job fan-out, or any net/http
+// code (a handler blocked on the lock blocks the northbound API).
+func blockingSink(n *Node) bool {
+	if n.Fn == nil || n.Fn.Pkg() == nil {
+		return false
+	}
+	switch {
+	case n.Fn.Pkg().Path() == "snic/internal/engine" && strings.HasPrefix(n.Fn.Name(), "Run"):
+		return true
+	case n.Fn.Pkg().Path() == "net/http":
+		return true
+	}
+	return false
+}
+
+// managerType resolves fleet.Manager and verifies it guards state with
+// a sync.Mutex field named mu; nil disables the check (fixture trees
+// without a realistic Manager).
+func managerType(fleet *Package) *types.Named {
+	tn, ok := fleet.Types.Scope().Lookup("Manager").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "mu" {
+			continue
+		}
+		if ft, ok := f.Type().(*types.Named); ok &&
+			ft.Obj().Pkg() != nil && ft.Obj().Pkg().Path() == "sync" && ft.Obj().Name() == "Mutex" {
+			return named
+		}
+	}
+	return nil
+}
+
+// isManagerMethod reports whether n is a method declared on Manager.
+func isManagerMethod(n *Node, manager *types.Named) bool {
+	if n.Fn == nil {
+		return false
+	}
+	sig, ok := n.Fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == manager.Obj()
+}
+
+// guardedTypes collects Manager plus every named struct type in fleet
+// reachable from its fields (managedDevice, tenant, Placement, Stats,
+// …): writing any of them is mutating manager-guarded state.
+func guardedTypes(fleet *Package, manager *types.Named) map[*types.TypeName]bool {
+	guarded := map[*types.TypeName]bool{manager.Obj(): true}
+	queue := []*types.Named{manager}
+	for len(queue) > 0 {
+		named := queue[0]
+		queue = queue[1:]
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			for _, fn := range fieldNamed(st.Field(i).Type()) {
+				obj := fn.Obj()
+				if obj.Pkg() == nil || obj.Pkg().Path() != fleetPath || guarded[obj] {
+					continue
+				}
+				if _, isStruct := fn.Underlying().(*types.Struct); !isStruct {
+					continue
+				}
+				guarded[obj] = true
+				queue = append(queue, fn)
+			}
+		}
+	}
+	return guarded
+}
+
+// fieldNamed unwraps pointers, slices, arrays, and maps down to the
+// named types a field can reference.
+func fieldNamed(t types.Type) []*types.Named {
+	switch tt := t.(type) {
+	case *types.Named:
+		return []*types.Named{tt}
+	case *types.Pointer:
+		return fieldNamed(tt.Elem())
+	case *types.Slice:
+		return fieldNamed(tt.Elem())
+	case *types.Array:
+		return fieldNamed(tt.Elem())
+	case *types.Map:
+		return append(fieldNamed(tt.Key()), fieldNamed(tt.Elem())...)
+	}
+	return nil
+}
+
+// acquiresMu reports whether body contains a call of the form
+// <expr of type Manager>.mu.Lock().
+func acquiresMu(info *types.Info, body *ast.BlockStmt, manager *types.Named) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Lock" {
+			return true
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || inner.Sel.Name != "mu" {
+			return true
+		}
+		if isManagerExpr(info, inner.X, manager) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// writesGuarded reports whether body assigns through a selector whose
+// base is a guarded fleet type: m.clock = …, md.placed[k] = …,
+// delete(m.devices, k), tn.used.Cores++ and the like. Writes to plain
+// locals (even of guarded value types' copies) still count — exported
+// methods operating on copies are rare enough here that the
+// conservative answer is the safe one.
+func writesGuarded(info *types.Info, body *ast.BlockStmt, guarded map[*types.TypeName]bool) bool {
+	found := false
+	mark := func(target ast.Expr) {
+		if guardedTarget(info, target, guarded) {
+			found = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(s.X)
+		case *ast.CallExpr:
+			if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "delete" && len(s.Args) > 0 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					mark(s.Args[0])
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// guardedTarget reports whether the assignment target writes into a
+// guarded type: the target (unwrapped of indexing and derefs) must be
+// a field selection on an expression of guarded type.
+func guardedTarget(info *types.Info, target ast.Expr, guarded map[*types.TypeName]bool) bool {
+	for {
+		switch t := target.(type) {
+		case *ast.ParenExpr:
+			target = t.X
+		case *ast.IndexExpr:
+			target = t.X
+		case *ast.StarExpr:
+			target = t.X
+		case *ast.SelectorExpr:
+			return guardedExprType(info, t.X, guarded)
+		default:
+			return false
+		}
+	}
+}
+
+// guardedExprType reports whether expr's type (behind pointers) is one
+// of the guarded named types.
+func guardedExprType(info *types.Info, expr ast.Expr, guarded map[*types.TypeName]bool) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && guarded[named.Obj()]
+}
+
+// isManagerExpr reports whether expr's type (behind pointers) is the
+// Manager type itself.
+func isManagerExpr(info *types.Info, expr ast.Expr, manager *types.Named) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == manager.Obj()
+}
+
+var _ ProgramCheck = LockDiscipline{}

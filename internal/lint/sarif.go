@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// RenderSARIF formats diagnostics as a SARIF 2.1.0 log — the
+// interchange format code-scanning UIs ingest — with one run, one rule
+// per registered check, and one result per finding. Interprocedural
+// call paths are appended to the message text exactly as RenderText
+// prints them, so the chain survives viewers that ignore code flows.
+func RenderSARIF(ds []Diagnostic, trimPrefix string) (string, error) {
+	type text struct {
+		Text string `json:"text"`
+	}
+	type rule struct {
+		ID               string `json:"id"`
+		ShortDescription text   `json:"shortDescription"`
+	}
+	type artifactLocation struct {
+		URI string `json:"uri"`
+	}
+	type region struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn"`
+	}
+	type physicalLocation struct {
+		ArtifactLocation artifactLocation `json:"artifactLocation"`
+		Region           region           `json:"region"`
+	}
+	type location struct {
+		PhysicalLocation physicalLocation `json:"physicalLocation"`
+	}
+	type result struct {
+		RuleID    string     `json:"ruleId"`
+		RuleIndex int        `json:"ruleIndex"`
+		Level     string     `json:"level"`
+		Message   text       `json:"message"`
+		Locations []location `json:"locations"`
+	}
+	type driver struct {
+		Name  string `json:"name"`
+		Rules []rule `json:"rules"`
+	}
+	type tool struct {
+		Driver driver `json:"driver"`
+	}
+	type run struct {
+		Tool    tool     `json:"tool"`
+		Results []result `json:"results"`
+	}
+	type log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []run  `json:"runs"`
+	}
+
+	var rules []rule
+	index := make(map[string]int)
+	addRule := func(id, doc string) {
+		index[id] = len(rules)
+		rules = append(rules, rule{ID: id, ShortDescription: text{Text: doc}})
+	}
+	for _, c := range Registry() {
+		addRule(c.Name(), c.Doc())
+	}
+	addRule("waiver", "malformed, stale, or forbidden //lint:allow directives")
+
+	results := make([]result, 0, len(ds))
+	for _, d := range ds {
+		idx, ok := index[d.Check]
+		if !ok {
+			addRule(d.Check, "")
+			idx = index[d.Check]
+		}
+		msg := d.Message
+		if len(d.Path) > 0 {
+			msg += " (path: " + strings.Join(d.Path, " → ") + ")"
+		}
+		uri := filepath.ToSlash(strings.TrimPrefix(d.Pos.Filename, trimPrefix))
+		results = append(results, result{
+			RuleID:    d.Check,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   text{Text: msg},
+			Locations: []location{{PhysicalLocation: physicalLocation{
+				ArtifactLocation: artifactLocation{URI: uri},
+				Region:           region{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+
+	out, err := json.MarshalIndent(log{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []run{{
+			Tool:    tool{Driver: driver{Name: "sniclint", Rules: rules}},
+			Results: results,
+		}},
+	}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}

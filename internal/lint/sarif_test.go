@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRenderSARIF asserts the SARIF log is well-formed JSON with the
+// shape scanners require: 2.1.0 version, every result's ruleId resolved
+// by ruleIndex into the declared rules, slash-separated relative URIs,
+// and the call path carried in the message text.
+func TestRenderSARIF(t *testing.T) {
+	loader, pkgs := loadFixtures(t)
+	diags := Run(loader.Fset, pkgs, Registry())
+	if len(diags) == 0 {
+		t.Fatal("fixture tree produced no findings")
+	}
+	out, err := RenderSARIF(diags, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0 with one run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "sniclint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != len(diags) {
+		t.Errorf("results = %d, want one per diagnostic (%d)", len(run.Results), len(diags))
+	}
+	pathSeen := false
+	for _, r := range run.Results {
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) {
+			t.Fatalf("ruleIndex %d out of range", r.RuleIndex)
+		}
+		if got := run.Tool.Driver.Rules[r.RuleIndex].ID; got != r.RuleID {
+			t.Errorf("ruleIndex %d resolves to %q, result says %q", r.RuleIndex, got, r.RuleID)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result has %d locations, want 1", len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if strings.Contains(loc.ArtifactLocation.URI, "\\") {
+			t.Errorf("URI %q must be slash-separated", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine < 1 {
+			t.Errorf("startLine %d < 1 in %s", loc.Region.StartLine, loc.ArtifactLocation.URI)
+		}
+		if strings.Contains(r.Message.Text, "(path: ") {
+			pathSeen = true
+		}
+	}
+	if !pathSeen {
+		t.Error("no result message carries a call path; interprocedural findings must keep their chains")
+	}
+}

@@ -35,4 +35,27 @@ func TestModuleIsClean(t *testing.T) {
 	if len(diags) > 0 {
 		t.Errorf("%d unwaived finding(s); fix them or add //lint:allow <check> <reason> at the site", len(diags))
 	}
+
+	// The waiver budget: suppressions in production code are debt, and
+	// the interprocedural checks exist to shrink it, not grow it. Every
+	// waiver that survives here is also known-used (the stale-waiver
+	// detector above would have flagged it otherwise).
+	known := make(map[string]bool)
+	for _, c := range Registry() {
+		known[c.Name()] = true
+	}
+	production := 0
+	for _, p := range pkgs {
+		ws, _ := parseWaivers(loader.Fset, p, known)
+		for _, w := range ws {
+			if !w.test {
+				production++
+				t.Logf("production waiver: %s [%s]", w.pos, w.check)
+			}
+		}
+	}
+	const waiverBudget = 9
+	if production >= waiverBudget {
+		t.Errorf("%d production waivers, budget is < %d: fix violations instead of waiving them", production, waiverBudget)
+	}
 }

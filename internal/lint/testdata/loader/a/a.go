@@ -1,0 +1,9 @@
+// Package a is half of a deliberate import cycle for the loader tests.
+// The go tool never builds testdata, so the cycle is only ever seen by
+// the lint loader, which must survive it.
+package a
+
+import "cyclemod/b"
+
+// Ping bounces through the cycle's other half.
+func Ping() int { return b.Pong() }

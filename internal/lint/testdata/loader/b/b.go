@@ -1,0 +1,7 @@
+// Package b is the other half of the loader-test import cycle.
+package b
+
+import "cyclemod/a"
+
+// Pong bounces back through package a.
+func Pong() int { return a.Ping() }

@@ -1,0 +1,7 @@
+// Package engine stubs the experiment engine's fan-out entry point for
+// the lock-discipline fixtures: entering Run while holding the fleet
+// manager's lock is the blocking pattern rule 3 forbids.
+package engine
+
+// Run stands in for the engine's job fan-out.
+func Run(jobs int) int { return jobs }

@@ -1,0 +1,64 @@
+// Package fleet deliberately violates the lock-discipline check in all
+// three ways: an exported mutator that never locks (directly and
+// through a helper), a transitive double-acquisition of the
+// non-reentrant mutex, and an engine fan-out entered while holding the
+// lock. Advance and Stats show the clean pattern and must not fire.
+package fleet
+
+import (
+	"sync"
+
+	"snic/internal/engine"
+)
+
+// Manager mirrors the real control plane's shape: one mutex guarding
+// every mutable field.
+type Manager struct {
+	mu      sync.Mutex
+	clock   uint64
+	devices map[string]*managedDevice
+}
+
+type managedDevice struct{ placed int }
+
+// Advance is the clean pattern: lock, mutate, unlock.
+func (m *Manager) Advance(c uint64) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clock += c
+	return m.clock
+}
+
+// Stats locks to read a consistent snapshot.
+func (m *Manager) Stats() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clock
+}
+
+// SetClock violates rule 2 directly: an exported mutator with no lock.
+func (m *Manager) SetClock(c uint64) { m.clock = c }
+
+// Evict violates rule 2 transitively: the unguarded write hides in a
+// helper, where a per-function check would never connect it.
+func (m *Manager) Evict(name string) { m.drop(name) }
+
+func (m *Manager) drop(name string) { delete(m.devices, name) }
+
+// Rebalance violates rule 1 transitively: it holds mu and reaches the
+// mu-acquiring Stats through a helper — a guaranteed self-deadlock on
+// the non-reentrant sync.Mutex.
+func (m *Manager) Rebalance() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.repack()
+}
+
+func (m *Manager) repack() uint64 { return m.Stats() }
+
+// Burst violates rule 3: engine fan-out while holding the lock.
+func (m *Manager) Burst(jobs int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return engine.Run(jobs)
+}

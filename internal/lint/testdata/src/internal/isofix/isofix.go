@@ -1,0 +1,30 @@
+// Package isofix deliberately violates the isolation-boundary check: a
+// simulation harness reaching around the owner-checked translation path
+// to the raw backing arena. On real S-NIC hardware the per-NF locked
+// TLB makes this physically impossible; in the simulator only the check
+// stands between a helper function and another tenant's frames.
+package isofix
+
+import (
+	"snic/internal/mem"
+	"snic/internal/snic"
+)
+
+// Drain obtains the raw arena from the device — the first finding —
+// and hands it to a helper, hiding the actual write one call deeper.
+func Drain(d *snic.Device) error {
+	pm := d.Memory()
+	return scribble(pm)
+}
+
+// scribble writes through the raw port, bypassing NFWrite: the second
+// finding, whose printed path names Drain as the entry point.
+func scribble(pm *mem.Physical) error {
+	return pm.Write(0, []byte{0xFF})
+}
+
+// Sanctioned shows the legal alternative: the owner-checked entry point
+// is fine from anywhere and must not fire.
+func Sanctioned(d *snic.Device) error {
+	return d.NFWrite(1, 0, []byte{0xFF})
+}

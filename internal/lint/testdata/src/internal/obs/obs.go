@@ -1,5 +1,5 @@
 // Package obs is a miniature stub of the real snic/internal/obs, giving
-// the fixture tree the types the obs-discipline check resolves reader
+// the fixture tree the types the obs read-back rule resolves reader
 // methods against. Its own body also demonstrates the check's second
 // rule: any //lint:allow comment inside obs is a finding, because the
 // collector the whole module trusts must pass every check unwaived.
@@ -47,5 +47,5 @@ func Diff(old, new map[string]int64, all bool) (string, int) { return "", 0 }
 
 // Even a well-formed waiver is a finding inside obs:
 //
-//lint:allow determinism fixture demonstrating the zero-waiver rule
+//lint:allow transitive-determinism fixture demonstrating the zero-waiver rule
 var _ = 0

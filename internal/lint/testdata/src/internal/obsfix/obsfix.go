@@ -1,4 +1,4 @@
-// Package obsfix deliberately violates the obs-discipline check: a
+// Package obsfix deliberately violates the obs read-back rule of transitive-determinism: a
 // simulation-path package reading back the metrics it collects. Writing
 // (Add, Inc, interning handles) is legal everywhere; reading makes the
 // metric a simulation input and breaks seed-purity.

@@ -1,6 +1,8 @@
 // Package snic is a minimal stub of the real device package for the
-// factory-discipline fixtures.
+// factory-discipline and isolation-boundary fixtures.
 package snic
+
+import "snic/internal/mem"
 
 // Device stands in for the real S-NIC model.
 type Device struct{ cores int }
@@ -8,3 +10,10 @@ type Device struct{ cores int }
 // New is the constructor the factory-discipline check reserves for
 // internal/device.
 func New(cores int) (*Device, error) { return &Device{cores: cores}, nil }
+
+// Memory exposes the raw backing store — legal only inside the trusted
+// device layer.
+func (d *Device) Memory() *mem.Physical { return &mem.Physical{} }
+
+// NFWrite is the owner-checked data port untrusted code must use.
+func (d *Device) NFWrite(id int, va uint64, data []byte) error { return nil }

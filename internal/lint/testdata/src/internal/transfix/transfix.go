@@ -1,0 +1,26 @@
+// Package transfix deliberately violates the transitive-determinism
+// check through helper chains: no forbidden call appears directly in an
+// exported simulation-path function, yet every chain below reaches one.
+// The per-file determinism check of earlier revisions saw nothing here.
+package transfix
+
+import (
+	"snic/internal/obs"
+	"snic/util/timing"
+)
+
+// Epoch looks innocent: the wall-clock read hides two calls away, in a
+// package outside internal/ that a per-file check never examines.
+func Epoch() int64 { return mark() }
+
+func mark() int64 { return timing.Stamp() }
+
+// Reseed pulls ambient randomness through the same helper package.
+func Reseed() int { return timing.Jitter() }
+
+// Snapshot reads collected metrics back through an unexported helper:
+// the sink is local, and the printed path names the exported entry
+// point that makes it reachable.
+func Snapshot(r *obs.Registry) string { return export(r) }
+
+func export(r *obs.Registry) string { return r.DumpMetrics() }

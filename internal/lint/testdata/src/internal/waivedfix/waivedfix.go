@@ -7,12 +7,12 @@ import "time"
 
 // Allowed is suppressed: the waiver names the firing check with a reason.
 func Allowed() time.Time {
-	return time.Now() //lint:allow determinism fixture demonstrating a valid waiver
+	return time.Now() //lint:allow transitive-determinism fixture demonstrating a valid waiver
 }
 
 // AllowedAbove is suppressed by a standalone waiver on the line above.
 func AllowedAbove() time.Time {
-	//lint:allow determinism fixture demonstrating a standalone waiver
+	//lint:allow transitive-determinism fixture demonstrating a standalone waiver
 	return time.Now()
 }
 
@@ -23,7 +23,7 @@ func WrongCheck() time.Time {
 
 // NoReason still fires, and the reasonless waiver is itself a finding.
 func NoReason() time.Time {
-	return time.Now() //lint:allow determinism
+	return time.Now() //lint:allow transitive-determinism
 }
 
 // UnknownCheck still fires, and the bogus check ID is itself a finding.

@@ -1,0 +1,18 @@
+// Package timing sits outside the simulated path — not under internal/,
+// not cmd/snicd — so nothing here fires on its own: commands may time
+// their own progress output. The transfix package drags it into the
+// simulation path through the call graph, and each sink below is then
+// reported with the chain that reaches it.
+package timing
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock — fine for a CLI, fatal once a simulation
+// helper can call it.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Jitter draws ambient randomness outside any seeded stream.
+func Jitter() int { return rand.Intn(1000) }

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+)
+
+// simulationPath reports whether an import path is part of the simulated
+// path, where wall-clock time and ambient randomness are forbidden:
+// everything under internal/ (the simulation kernel, device models, NFs,
+// experiments, and the engine that schedules them), plus cmd/snicd — the
+// fleet daemon promises byte-identical replays of any request history,
+// so it is held to the same bar as the packages it wraps. Other commands
+// and examples sit outside — they may time their own progress output —
+// unless a simulation-path function can reach them through the call
+// graph, in which case they are held to the same bar transitively.
+func simulationPath(path string) bool {
+	return strings.HasPrefix(path, "snic/internal/") || path == "snic/cmd/snicd"
+}
+
+// forbiddenTimeFuncs are the package-time functions that read or depend
+// on the wall clock. time.Duration arithmetic and the unit constants
+// remain fine: they are plain numbers.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// obsPath is the import path of the observability package whose
+// write-only contract the check enforces.
+const obsPath = "snic/internal/obs"
+
+// obsReaderFuncs are the package-level obs functions that read collected
+// data back out. Conversion helpers (MSToCycles) and constructors
+// (NewRegistry, NewWall) are not readers: they carry no collected state.
+var obsReaderFuncs = map[string]bool{
+	"ParseDump": true,
+	"Diff":      true,
+}
+
+// obsReaderMethods are the methods on obs types that read collected data
+// back out. Writers (Add, Inc, Set, Observe, Span, Event, Tick) and the
+// quarantined wall-clock pair (Wall.Start, Wall.Since) are deliberately
+// absent: simulation-path code may feed the collector and may time its
+// own -v progress output, but must never branch on what was collected.
+var obsReaderMethods = map[string]bool{
+	"Value":       true, // Counter, Gauge
+	"Count":       true, // Histogram
+	"Sum":         true, // Histogram
+	"Buckets":     true, // Histogram
+	"Records":     true, // Tracer
+	"DumpMetrics": true, // Registry
+	"ChromeTrace": true, // Registry
+	"TraceText":   true, // Registry
+}
+
+// TransDeterminism enforces DESIGN.md's determinism promise through the
+// whole call graph: no function that simulation-path code can reach —
+// directly, through helpers, through function values, or through
+// interface dispatch — may read the wall clock, draw from math/rand, or
+// read collected obs metrics back. Simulated time is cycles and bytes
+// over calibrated rates, all randomness flows through sim.Rand, and a
+// simulation that branches on its own metrics stops being a pure
+// function of its seed. It subsumes the per-file determinism and
+// obs-discipline checks of earlier revisions: a helper package outside
+// internal/ is held to the same bar the moment a simulation-path
+// function can call into it.
+type TransDeterminism struct{}
+
+func (TransDeterminism) Name() string { return "transitive-determinism" }
+
+func (TransDeterminism) Doc() string {
+	return "forbid wall-clock, math/rand, and obs reads reachable from simulation-path code, through any call chain"
+}
+
+// Run is the syntactic half: importing math/rand in a simulation-path
+// package is flagged at the import site even before any call is made.
+func (c TransDeterminism) Run(p *Pass) []Diagnostic {
+	if !simulationPath(p.Pkg.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue // tests may time themselves; goldens catch nondeterminism
+		}
+		for _, imp := range f.AST.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case "math/rand", "math/rand/v2":
+				diags = append(diags, p.diag(c.Name(), imp,
+					"import of %s in simulation path: use snic/internal/sim (DeriveSeed/DeriveRand)",
+					strings.Trim(imp.Path.Value, `"`)))
+			}
+		}
+	}
+	return diags
+}
+
+// RunProgram is the interprocedural half: every call or function-value
+// reference whose target is a forbidden sink is flagged when its
+// enclosing function is simulation-path or reachable from it, with the
+// call chain from the nearest exported simulation-path entry point.
+func (c TransDeterminism) RunProgram(prog *Program) []Diagnostic {
+	g := prog.Graph()
+	var simNodes []*Node
+	for _, n := range g.Nodes {
+		if n.Pkg != nil && simulationPath(n.Pkg.Path) {
+			simNodes = append(simNodes, n)
+		}
+	}
+	reach := g.Reachable(simNodes)
+	isRoot := func(n *Node) bool {
+		return n.Pkg != nil && simulationPath(n.Pkg.Path) && n.Exported()
+	}
+
+	var diags []Diagnostic
+	for _, n := range g.Nodes {
+		if n.Pkg == nil {
+			continue // out-of-module leaves have no analyzable body
+		}
+		if !simulationPath(n.Pkg.Path) && !reach[n] {
+			continue // outside the simulated path and never reached from it
+		}
+		for _, e := range n.Out {
+			msg := c.sinkMessage(n, e)
+			if msg == "" {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Check: c.Name(), Pos: e.Pos, Message: msg,
+				Path: CallPath(g.PathFromRoot(n, isRoot), e.To),
+			})
+		}
+	}
+	return diags
+}
+
+// sinkMessage classifies edge e out of caller n: a non-empty return is
+// the finding's message.
+func (TransDeterminism) sinkMessage(n *Node, e *CallEdge) string {
+	fn := e.To.Fn
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	verb := "call"
+	if e.Ref {
+		verb = "reference"
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "time":
+		if forbiddenTimeFuncs[name] {
+			return "wall-clock " + verb + " time." + name +
+				" reached from the simulation path: simulated time is cycles, not the clock"
+		}
+	case "math/rand", "math/rand/v2":
+		return "math/rand " + verb + " " + e.To.Name +
+			" reached from the simulation path: use snic/internal/sim (DeriveSeed/DeriveRand)"
+	case obsPath:
+		if n.Pkg.Path == obsPath {
+			return "" // the collector reading its own state is its job
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if obsReaderMethods[name] {
+				return "obs reader " + recvTypeName(fn) + "." + name +
+					" reached from the simulation path: simulation writes metrics, never reads them back"
+			}
+		} else if obsReaderFuncs[name] {
+			return "obs." + name +
+				" reads collected metrics in the simulation path: obs is write-only here; read dumps from cmd/ or tests"
+		}
+	}
+	return ""
+}
+
+// recvTypeName renders the receiver type of a method for messages, e.g.
+// "Counter" for func (c *Counter) Value().
+func recvTypeName(fn types.Object) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "obs"
+	}
+	if name := namedRecvName(sig.Recv().Type()); name != "" {
+		return name
+	}
+	return "obs"
+}
+
+// Assert the double dispatch: TransDeterminism runs both per-package
+// (imports) and whole-program (reachability).
+var (
+	_ PackageCheck = TransDeterminism{}
+	_ ProgramCheck = TransDeterminism{}
+)

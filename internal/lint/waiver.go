@@ -14,19 +14,28 @@ import (
 const waiverPrefix = "//lint:allow"
 
 // waiver is one parsed //lint:allow directive. It covers its own line
-// and the line immediately below, for exactly the check it names.
+// and the line immediately below, for exactly the check it names. The
+// framework marks it used when it suppresses a finding; a production
+// waiver that suppresses nothing is reported as stale.
 type waiver struct {
-	file  string
-	line  int
+	pos   token.Position
 	check string
+	test  bool // found in a _test.go file
+	used  bool
 }
 
 // parseWaivers extracts every //lint:allow directive from the package's
 // comments. Malformed directives — no check name, a check name outside
 // the known set, or a missing reason — are returned as diagnostics with
 // the "waiver" check ID, so a typo cannot silently disable enforcement.
-func parseWaivers(fset *token.FileSet, pkg *Package, known map[string]bool) ([]waiver, []Diagnostic) {
-	var ws []waiver
+//
+// The observability package is held to a stricter bar: the collector
+// everything trusts must pass the full registry on its own merits, so
+// any waiver in internal/obs's non-test files is itself a finding (the
+// module's single sanctioned wall-clock waiver lives in internal/engine,
+// on the variable that injects obs.Wall).
+func parseWaivers(fset *token.FileSet, pkg *Package, known map[string]bool) ([]*waiver, []Diagnostic) {
+	var ws []*waiver
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.AST.Comments {
@@ -38,6 +47,13 @@ func parseWaivers(fset *token.FileSet, pkg *Package, known map[string]bool) ([]w
 				rest := strings.TrimPrefix(c.Text, waiverPrefix)
 				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
 					continue // e.g. //lint:allowed — not our directive
+				}
+				if pkg.Path == obsPath && !f.Test {
+					bad = append(bad, Diagnostic{
+						Check: "waiver", Pos: pos,
+						Message: "waiver inside internal/obs: the observability package must pass every check with zero waivers",
+					})
+					continue
 				}
 				fields := strings.Fields(rest)
 				switch {
@@ -57,7 +73,7 @@ func parseWaivers(fset *token.FileSet, pkg *Package, known map[string]bool) ([]w
 						Message: "waiver for " + quote(fields[0]) + " has no reason; every waiver must say why",
 					})
 				default:
-					ws = append(ws, waiver{file: pos.Filename, line: pos.Line, check: fields[0]})
+					ws = append(ws, &waiver{pos: pos, check: fields[0], test: f.Test})
 				}
 			}
 		}
@@ -67,17 +83,17 @@ func parseWaivers(fset *token.FileSet, pkg *Package, known map[string]bool) ([]w
 
 func quote(s string) string { return `"` + s + `"` }
 
-// suppressed reports whether d is covered by a waiver: same file, same
-// check, on d's line or the line directly above.
-func suppressed(d Diagnostic, ws []waiver) bool {
+// coveringWaiver returns the waiver that suppresses d — same file, same
+// check, on d's line or the line directly above — or nil.
+func coveringWaiver(d Diagnostic, ws []*waiver) *waiver {
 	if d.Check == "waiver" {
-		return false
+		return nil
 	}
 	for _, w := range ws {
-		if w.check == d.Check && w.file == d.Pos.Filename &&
-			(w.line == d.Pos.Line || w.line == d.Pos.Line-1) {
-			return true
+		if w.check == d.Check && w.pos.Filename == d.Pos.Filename &&
+			(w.pos.Line == d.Pos.Line || w.pos.Line == d.Pos.Line-1) {
+			return w
 		}
 	}
-	return false
+	return nil
 }

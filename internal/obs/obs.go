@@ -19,9 +19,10 @@
 //     branch, so instrumentation stays on permanently.
 //
 //   - Write-only from the simulation. Results must never depend on a
-//     metric value: the sniclint obs-discipline check forbids
-//     simulation-path packages from calling the reader APIs (Value,
-//     Records, DumpMetrics, ...). Only cmd/ tools and tests read.
+//     metric value: the sniclint transitive-determinism check forbids
+//     simulation-path code from reaching the reader APIs (Value,
+//     Records, DumpMetrics, ...) through any call chain. Only cmd/
+//     tools and tests read.
 //
 // Series are keyed by a stable (device, owner, component, name) Label.
 // Exports sort by label, so registration order — which varies with
