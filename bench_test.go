@@ -24,6 +24,7 @@ import (
 	"snic/internal/hwmodel"
 	"snic/internal/lint"
 	"snic/internal/nf"
+	"snic/internal/obs"
 	"snic/internal/pkt"
 	"snic/internal/pktio"
 	"snic/internal/sim"
@@ -463,6 +464,31 @@ func BenchmarkCAIDAStreamDraw(b *testing.B) {
 		if _, _, ok := st.Next(); !ok {
 			b.Fatal("caida stream ended")
 		}
+	}
+}
+
+// --- Flight recorder -------------------------------------------------------
+
+// BenchmarkObsRecorder measures the per-span cost of the trace collector
+// in both shapes: the unbounded append every traced run pays today, and
+// the bounded flight recorder (cap 1024) that replaces the append with a
+// ring overwrite once warm. The two must stay within noise of each
+// other — if the ring ever costs measurably more per span than the
+// slice it bounds, -trace-cap stops being a free memory cap.
+func BenchmarkObsRecorder(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		cap  int
+	}{{"unbounded", 0}, {"cap1024", 1024}} {
+		b.Run(tc.name, func(b *testing.B) {
+			reg := obs.NewRegistry()
+			reg.SetTraceCapacity(tc.cap)
+			tr := reg.Tracer("bench")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr.Span("rec", "span", uint64(i), 1)
+			}
+		})
 	}
 }
 

@@ -20,9 +20,16 @@
 // Observability (internal/obs) rides along on demand: -trace FILE
 // writes a Chrome-trace-event JSON file of cycle-stamped spans
 // (chrome://tracing, Perfetto), and -metrics prints the simulated-time
-// metric dump on stderr (diff two dumps with cmd/snicstat). Both are
+// metric dump on stderr (diff two dumps with cmd/snicstat;
+// -metrics-format prom emits Prometheus exposition instead). Both are
 // deterministic — byte-identical for every -workers value — and
-// attaching them never changes experiment output.
+// attaching them never changes experiment output. -trace-cap N bounds
+// tracing to a flight recorder (keep-last-N spans per track, constant
+// memory at any scale); a truncated track dumps a dropped_spans
+// counter, and below capacity the exports are byte-identical to the
+// unbounded form. -progress D is the one wall-clock surface: a periodic
+// stderr line (jobs done, packets drawn, throughput, ETA, checkpoint
+// lag) fed by the engine's quarantined wall collector.
 //
 // The "replay" experiment streams a CAIDA-shaped window (full scale:
 // the paper's 26.7 M flows x 50 packets each) through per-shard
@@ -44,6 +51,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"snic/internal/engine"
 	"snic/internal/exp"
@@ -219,7 +227,10 @@ func main() {
 	workers := flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "report engine metrics per sweep on stderr")
 	tracePath := flag.String("trace", "", "write a Chrome-trace-event JSON file of cycle-stamped spans")
+	traceCap := flag.Int("trace-cap", 0, "flight recorder: retain at most N spans per track (0 = unbounded)")
 	metrics := flag.Bool("metrics", false, "print the simulated-time metric dump on stderr")
+	metricsFormat := flag.String("metrics-format", "text", "-metrics format: text (# snic-metrics v1) | prom (Prometheus exposition)")
+	progressEvery := flag.Duration("progress", 0, "print a live progress line on stderr every interval (e.g. 2s; wall-clock telemetry, never in results)")
 	checkpoint := flag.String("checkpoint", "", "replay: persist/resume shard cursors at FILE")
 	stopAfter := flag.Uint64("stop-after", 0, "replay: interrupt each shard after N packets this run (exit 3)")
 	list := flag.Bool("list", false, "list experiment names and exit")
@@ -242,6 +253,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "snicbench:", err)
 		os.Exit(2)
 	}
+	if *metricsFormat != "text" && *metricsFormat != "prom" {
+		fmt.Fprintf(os.Stderr, "snicbench: unknown -metrics-format %q (want text or prom)\n", *metricsFormat)
+		os.Exit(2)
+	}
 
 	b := &bench{
 		runner:     &exp.Runner{Workers: *workers},
@@ -260,7 +275,29 @@ func main() {
 	var reg *obs.Registry
 	if *tracePath != "" || *metrics {
 		reg = obs.NewRegistry()
+		reg.SetTraceCapacity(*traceCap)
 		b.runner.Obs = reg
+	}
+	var prog *obs.Progress
+	var stopProgress chan struct{}
+	if *progressEvery > 0 {
+		// Live telemetry rides on the engine's sanctioned wall clock and
+		// never touches results or the deterministic exports above.
+		prog = obs.NewProgress(engine.DefaultWall())
+		b.runner.Progress = prog
+		stopProgress = make(chan struct{})
+		go func() {
+			t := time.NewTicker(*progressEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					fmt.Fprintln(os.Stderr, prog.Snapshot().String())
+				case <-stopProgress:
+					return
+				}
+			}
+		}()
 	}
 
 	for _, name := range experimentNames() {
@@ -277,8 +314,16 @@ func main() {
 		}
 	}
 
+	if stopProgress != nil {
+		close(stopProgress)
+		fmt.Fprintln(os.Stderr, prog.Snapshot().String())
+	}
 	if *metrics {
-		fmt.Fprint(os.Stderr, reg.DumpMetrics())
+		if *metricsFormat == "prom" {
+			fmt.Fprint(os.Stderr, reg.PromText())
+		} else {
+			fmt.Fprint(os.Stderr, reg.DumpMetrics())
+		}
 	}
 	if *tracePath != "" {
 		data, err := reg.ChromeTrace()

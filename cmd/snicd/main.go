@@ -12,6 +12,8 @@
 //	curl -s -X POST localhost:8080/v1/burst -d '{"packets":16}'
 //	curl -s localhost:8080/v1/oper
 //	curl -s localhost:8080/v1/metrics
+//	curl -s 'localhost:8080/v1/metrics?format=prom'
+//	curl -s localhost:8080/v1/progress
 //
 // A bootstrap config (-config FILE) declares devices and tenants to
 // apply before serving; its format is the /v1/config JSON shape.
@@ -39,6 +41,7 @@ import (
 	"net/http"
 	"os"
 
+	"snic/internal/engine"
 	"snic/internal/fleet"
 	"snic/internal/obs"
 )
@@ -81,6 +84,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		Policy:  *policy,
 		Workers: *workers,
 		Obs:     obs.NewRegistry(),
+		// Live telemetry for /v1/progress, fed by the engine's sanctioned
+		// wall clock (no second time.Now site). The deterministic exports
+		// never read it.
+		Progress: obs.NewProgress(engine.DefaultWall()),
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "snicd:", err)

@@ -1,4 +1,6 @@
-// Command snicstat diffs two snicbench metric dumps. Usage:
+// Command snicstat inspects snicbench/snicd metric output. Modes:
+//
+// Diff (the default) compares two metric dumps:
 //
 //	snicbench -experiment fig6 -metrics 2> before.txt
 //	...change something...
@@ -6,19 +8,44 @@
 //	snicstat before.txt after.txt        # only series that changed
 //	snicstat -all before.txt after.txt   # every series
 //
+// -hist summarizes every histogram in one dump: count, sum, and
+// p50/p90/p99 interpolated from the power-of-two buckets:
+//
+//	snicstat -hist after.txt
+//
+// -promcheck validates a Prometheus text exposition payload ("-" reads
+// stdin) with the in-repo stdlib validator — the no-dependency stand-in
+// for promtool that CI runs against a live snicd:
+//
+//	curl -s 'localhost:8080/v1/metrics?format=prom' | snicstat -promcheck -
+//
+// -watch polls a live snicd, printing its run-progress line and how
+// many metric series changed since the previous poll:
+//
+//	snicstat -watch http://localhost:8080 -interval 2s
+//	snicstat -watch http://localhost:8080 -n 5   # five polls, then exit
+//
 // Dumps are the deterministic "# snic-metrics v1" text format written
 // by internal/obs: because they are byte-identical across -workers
 // counts, any difference snicstat reports is a real behavioural change,
-// not scheduling noise.
+// not scheduling noise. (-watch output is the exception by design: it
+// reads the wall-clock-fed live telemetry plane.)
 //
-// Exit status: 0 when the dumps are identical, 1 when they differ, 2
-// for usage or parse errors.
+// Exit status: 0 when the dumps are identical (or the check passed), 1
+// when they differ (or validation failed), 2 for usage or parse errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"encoding/json"
 
 	"snic/internal/obs"
 )
@@ -37,17 +64,34 @@ func parseFile(path string) (map[string]int64, error) {
 }
 
 func main() {
-	all := flag.Bool("all", false, "show unchanged series too")
+	all := flag.Bool("all", false, "diff: show unchanged series too")
+	hist := flag.String("hist", "", "summarize the histograms in DUMP (p50/p90/p99) and exit")
+	promcheck := flag.String("promcheck", "", "validate a Prometheus exposition FILE (- = stdin) and exit")
+	watch := flag.String("watch", "", "poll a live snicd at URL, printing progress and metric churn")
+	interval := flag.Duration("interval", 2*time.Second, "watch: poll interval")
+	polls := flag.Int("n", 0, "watch: stop after N polls (0 = until killed)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: snicstat [-all] OLD.txt NEW.txt")
+		fmt.Fprintln(os.Stderr, "       snicstat -hist DUMP.txt")
+		fmt.Fprintln(os.Stderr, "       snicstat -promcheck FILE|-")
+		fmt.Fprintln(os.Stderr, "       snicstat -watch URL [-interval D] [-n N]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	switch {
+	case *hist != "":
+		os.Exit(runHist(*hist))
+	case *promcheck != "":
+		os.Exit(runPromCheck(*promcheck))
+	case *watch != "":
+		os.Exit(runWatch(strings.TrimRight(*watch, "/"), *interval, *polls))
+	}
+
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)
 	}
-
 	oldDump, err := parseFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snicstat:", err)
@@ -81,4 +125,103 @@ func countAdded(oldDump, newDump map[string]int64) int {
 		}
 	}
 	return n
+}
+
+// runHist renders percentile summaries for every histogram in a dump.
+func runHist(path string) int {
+	dump, err := parseFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snicstat:", err)
+		return 2
+	}
+	sums := obs.HistSummaries(dump)
+	if len(sums) == 0 {
+		fmt.Println("no histograms in dump")
+		return 0
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "series\tcount\tsum\tp50\tp90\tp99\t")
+	for _, s := range sums {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.0f\t%.0f\t\n", s.Series, s.Count, s.Sum, s.P50, s.P90, s.P99)
+	}
+	tw.Flush()
+	fmt.Println("(percentiles interpolated from power-of-two buckets: order-of-magnitude reads)")
+	return 0
+}
+
+// runPromCheck validates a Prometheus exposition payload.
+func runPromCheck(path string) int {
+	var rd io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snicstat:", err)
+			return 2
+		}
+		defer f.Close()
+		rd = f
+	}
+	if err := obs.ValidateExposition(rd); err != nil {
+		fmt.Fprintln(os.Stderr, "snicstat: exposition invalid:", err)
+		return 1
+	}
+	fmt.Println("exposition ok")
+	return 0
+}
+
+// runWatch polls a live snicd's /v1/metrics and /v1/progress, printing
+// one line per poll: the daemon's progress snapshot plus the number of
+// metric series that changed since the previous poll.
+func runWatch(base string, interval time.Duration, polls int) int {
+	client := &http.Client{Timeout: interval}
+	var prev map[string]int64
+	for i := 0; polls == 0 || i < polls; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		dump, err := fetchDump(client, base+"/v1/metrics")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snicstat:", err)
+			return 1
+		}
+		snap, err := fetchProgress(client, base+"/v1/progress")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snicstat:", err)
+			return 1
+		}
+		churn := ""
+		if prev != nil {
+			_, changed := obs.Diff(prev, dump, false)
+			churn = fmt.Sprintf(" | %d series changed", changed)
+		}
+		fmt.Printf("%s | %d series%s\n", snap.String(), len(dump), churn)
+		prev = dump
+	}
+	return 0
+}
+
+func fetchDump(client *http.Client, url string) (map[string]int64, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return obs.ParseDump(resp.Body)
+}
+
+func fetchProgress(client *http.Client, url string) (obs.ProgressSnapshot, error) {
+	var snap obs.ProgressSnapshot
+	resp, err := client.Get(url)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	return snap, err
 }

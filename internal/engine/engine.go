@@ -40,6 +40,13 @@ import (
 //lint:allow transitive-determinism the single sanctioned wall-clock site; readings feed only -v observability, never results
 var defaultWall = obs.NewWall(time.Now)
 
+// DefaultWall exposes the sanctioned wall-clock collector so tools can
+// build live-telemetry collectors (obs.NewProgress) without opening a
+// second time.Now site. The readings stay quarantined: progress
+// consumers are outside the simulation path by the same lint rule that
+// guards defaultWall itself.
+func DefaultWall() *obs.Wall { return defaultWall }
+
 // Job is one independent unit of an experiment sweep. Run must be
 // self-contained: it may share read-only calibration data with other
 // jobs, but every piece of mutable state (NF instances, packet pools,
@@ -65,6 +72,15 @@ type Config struct {
 	// Wall, if set, replaces the default wall-clock collector that times
 	// jobs and the sweep (tests inject deterministic fakes).
 	Wall *obs.Wall
+	// Progress, if set, receives live run telemetry: Begin at sweep
+	// start, JobDone per job, and — for sharded sweeps — per-shard
+	// stream positions and checkpoint saves. Publishing is write-only
+	// from here; nothing the engine computes reads it back.
+	Progress *obs.Progress
+	// ProgressTarget is the expected total item count (packets for a
+	// replay) handed to Progress.Begin so watchers get percentages and
+	// an ETA. Zero means unknown.
+	ProgressTarget uint64
 }
 
 // JobStat records one job's execution for progress and metrics.
@@ -161,6 +177,7 @@ func Run[T any](cfg Config, jobs []Job[T]) ([]T, Metrics, error) {
 	var wg sync.WaitGroup
 	idx := make(chan int)
 	t0 := wall.Start()
+	cfg.Progress.Begin(m.Experiment, len(jobs), cfg.ProgressTarget)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
@@ -179,6 +196,7 @@ func Run[T any](cfg Config, jobs []Job[T]) ([]T, Metrics, error) {
 				results[i] = v
 				m.Jobs[i] = stat
 				finished.Add(1)
+				cfg.Progress.JobDone(err != nil)
 				if cfg.OnJob != nil {
 					cbMu.Lock()
 					cfg.OnJob(stat)

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"snic/internal/obs"
+)
+
+func testProgress() *obs.Progress {
+	tick := time.Unix(0, 0)
+	return obs.NewProgress(obs.NewWall(func() time.Time {
+		tick = tick.Add(time.Millisecond)
+		return tick
+	}))
+}
+
+// TestRunPublishesProgress: Config.Progress sees Begin with the sweep
+// identity and one JobDone per job, and the snapshot deactivates when
+// the sweep drains.
+func TestRunPublishesProgress(t *testing.T) {
+	p := testProgress()
+	_, _, err := Run(Config{Workers: 2, Progress: p, ProgressTarget: 123}, drawJobs(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Snapshot()
+	if s.Experiment != "draw" || s.JobsTotal != 5 || s.JobsDone != 5 || s.JobsFailed != 0 {
+		t.Fatalf("snapshot after sweep: %+v", s)
+	}
+	if s.ItemsTotal != 123 {
+		t.Fatalf("target = %d, want 123 from ProgressTarget", s.ItemsTotal)
+	}
+	if s.Active {
+		t.Fatal("drained sweep still active")
+	}
+}
+
+// TestRunShardedPublishesPositions: Shard.Pos and Save flow into the
+// progress collector, and the wiring is optional — a nil Progress runs
+// identically.
+func TestRunShardedPublishesPositions(t *testing.T) {
+	spec := ShardedSpec[shardResult]{
+		Experiment: "shardtest",
+		Key:        "pos",
+		Shards:     3,
+		Run: func(s *Shard) (shardResult, error) {
+			s.Pos(uint64(10 * (s.Index + 1)))
+			if err := s.Save(shardCursor{}, nil); err != nil {
+				return shardResult{}, err
+			}
+			return shardResult{Shard: s.Index}, nil
+		},
+	}
+	p := testProgress()
+	if _, _, err := RunSharded(Config{Workers: 2, Progress: p}, nil, spec); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Snapshot()
+	if s.Items != 10+20+30 {
+		t.Fatalf("items = %d, want 60 from the three shard positions", s.Items)
+	}
+	if s.SinceSaveSec < 0 {
+		t.Fatal("save lag unknown despite Shard.Save calls")
+	}
+	if s.JobsDone != 3 {
+		t.Fatalf("jobs done = %d, want 3", s.JobsDone)
+	}
+	// No collector attached: same spec must run without publishing.
+	if _, _, err := RunSharded(Config{Workers: 2}, nil, spec); err != nil {
+		t.Fatal(err)
+	}
+}

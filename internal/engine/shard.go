@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"snic/internal/obs"
 	"snic/internal/sim"
 )
 
@@ -26,6 +27,7 @@ type Shard struct {
 	Index int
 	Rng   *sim.Rand
 	ck    *Checkpoint
+	prog  *obs.Progress
 }
 
 // Cursor returns the shard's saved cursor from a previous run, or nil on
@@ -34,8 +36,21 @@ func (s *Shard) Cursor() json.RawMessage { return s.ck.cursor(s.Index) }
 
 // Save records the shard's current cursor (and an optional partial
 // aggregate, for humans inspecting the checkpoint file), persisting the
-// checkpoint if it has an autosave path.
-func (s *Shard) Save(cursor, partial any) error { return s.ck.save(s.Index, cursor, partial) }
+// checkpoint if it has an autosave path. A successful save also stamps
+// the run's progress telemetry, so watchers see checkpoint lag.
+func (s *Shard) Save(cursor, partial any) error {
+	if err := s.ck.save(s.Index, cursor, partial); err != nil {
+		return err
+	}
+	s.prog.Saved()
+	return nil
+}
+
+// Pos publishes the shard's current item position (a trace.Stream
+// position for replay shards) to the run's progress telemetry.
+// Write-only and nil-safe: shard code may call it unconditionally and
+// nothing simulated ever depends on it.
+func (s *Shard) Pos(pos uint64) { s.prog.Pos(s.Index, pos) }
 
 // ShardedSpec decomposes one logical sweep point into Shards independent
 // sub-jobs. Each shard's RNG is derived from (seed, Experiment,
@@ -84,7 +99,7 @@ func RunSharded[T any](cfg Config, ck *Checkpoint, spec ShardedSpec[T]) ([]T, Me
 					}
 					return v, nil
 				}
-				v, err := spec.Run(&Shard{Index: i, Rng: rng, ck: ck})
+				v, err := spec.Run(&Shard{Index: i, Rng: rng, ck: ck, prog: cfg.Progress})
 				if err != nil {
 					return v, err
 				}

@@ -24,6 +24,11 @@ type Runner struct {
 	// job scopes its labels and trace track by its stable job key, so the
 	// collected output is worker-count invariant like the results.
 	Obs *obs.Registry
+	// Progress, if set, receives live run telemetry (job counts, shard
+	// stream positions, checkpoint saves) for snicbench -progress. The
+	// collector is quarantined like obs.Wall: the sweeps write to it,
+	// only tools read it, and nothing deterministic depends on it.
+	Progress *obs.Progress
 }
 
 // defaultRunner backs the package-level experiment functions, which keep
@@ -44,6 +49,7 @@ func (r *Runner) config(seed uint64) engine.Config {
 	if r != nil {
 		cfg.Workers = r.Workers
 		cfg.OnJob = r.OnJob
+		cfg.Progress = r.Progress
 	}
 	return cfg
 }

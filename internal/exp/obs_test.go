@@ -68,10 +68,11 @@ func TestFigure6SpansMatchRows(t *testing.T) {
 
 // collectObs runs the traced experiments (fig6 for spans, a small fig5a
 // point for cache/bus counters) on a fresh collector and returns every
-// deterministic export.
-func collectObs(t *testing.T, workers int) (dump string, chrome []byte, text string) {
+// deterministic export. traceCap > 0 turns on the flight recorder.
+func collectObs(t *testing.T, workers, traceCap int) (dump string, chrome []byte, text string) {
 	t.Helper()
 	reg := obs.NewRegistry()
+	reg.SetTraceCapacity(traceCap)
 	r := &Runner{Workers: workers, Obs: reg}
 	if _, err := r.Figure6(); err != nil {
 		t.Fatal(err)
@@ -92,9 +93,9 @@ func collectObs(t *testing.T, workers int) (dump string, chrome []byte, text str
 // and tracks are per-job, so any divergence means scheduling leaked
 // into a label or a shared tracer.
 func TestObsWorkerInvariance(t *testing.T) {
-	dump1, chrome1, text1 := collectObs(t, 1)
+	dump1, chrome1, text1 := collectObs(t, 1, 0)
 	for _, w := range []int{4, 16} {
-		dump, chrome, text := collectObs(t, w)
+		dump, chrome, text := collectObs(t, w, 0)
 		if dump != dump1 {
 			t.Errorf("metric dump with %d workers differs from serial run", w)
 		}
@@ -103,6 +104,33 @@ func TestObsWorkerInvariance(t *testing.T) {
 		}
 		if text != text1 {
 			t.Errorf("text trace with %d workers differs from serial run", w)
+		}
+	}
+}
+
+// TestFlightRecorderWorkerInvariance: bounding every track keeps the
+// invariance — which records a track retains is a pure function of its
+// append sequence, so a truncating capacity must produce the same
+// bytes at 1, 4, and 16 workers. Capacity 3 is small enough that the
+// fig6 tracks (7+ spans each) genuinely truncate.
+func TestFlightRecorderWorkerInvariance(t *testing.T) {
+	dump1, chrome1, text1 := collectObs(t, 1, 3)
+	if text1 == func() string { _, _, text := collectObs(t, 1, 0); return text }() {
+		t.Fatal("capacity 3 did not truncate; the test is vacuous")
+	}
+	if !bytes.Contains([]byte(dump1), []byte("dropped_spans")) {
+		t.Fatal("truncated dump carries no dropped_spans counter")
+	}
+	for _, w := range []int{4, 16} {
+		dump, chrome, text := collectObs(t, w, 3)
+		if dump != dump1 {
+			t.Errorf("bounded metric dump with %d workers differs from serial run", w)
+		}
+		if !bytes.Equal(chrome, chrome1) {
+			t.Errorf("bounded Chrome trace with %d workers differs from serial run", w)
+		}
+		if text != text1 {
+			t.Errorf("bounded text trace with %d workers differs from serial run", w)
 		}
 	}
 }

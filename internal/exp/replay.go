@@ -144,7 +144,11 @@ func (r *Runner) ReplayCAIDA(cfg ReplayConfig) (ReplayResult, error) {
 			return replayShard(s, cfg)
 		},
 	}
-	out, m, err := engine.RunSharded(r.config(cfg.Seed), ck, spec)
+	ecfg := r.config(cfg.Seed)
+	// ETA denominator for -progress watchers: the window's full packet
+	// count. Telemetry only — the engine never reads it back.
+	ecfg.ProgressTarget = cfg.Flows * uint64(cfg.PerFlow)
+	out, m, err := engine.RunSharded(ecfg, ck, spec)
 	if r != nil && r.Observe != nil {
 		r.Observe(m)
 	}
@@ -187,6 +191,10 @@ func replayShard(s *engine.Shard, cfg ReplayConfig) (ReplayShardResult, error) {
 			PeakMB: mbFloat(model.Peak()), FinalMB: mbFloat(model.Live()), Resizes: model.Resizes(),
 		})
 	}
+	// posEvery throttles progress publication: a mutex hit every 4 Ki
+	// packets is invisible next to the per-packet model work.
+	const posEvery = 4 << 10
+	s.Pos(st.Pos())
 	var processed uint64 // packets in this process run, for StopAfter
 	for {
 		_, p, ok := st.Next()
@@ -204,6 +212,9 @@ func replayShard(s *engine.Shard, cfg ReplayConfig) (ReplayShardResult, error) {
 		cur.Packets++
 		cur.Digest = digestKey(cur.Digest, p.Tuple.Key())
 		processed++
+		if processed%posEvery == 0 {
+			s.Pos(st.Pos())
+		}
 		if cur.Packets%every == 0 {
 			if err := save(); err != nil {
 				return ReplayShardResult{}, err
@@ -216,6 +227,7 @@ func replayShard(s *engine.Shard, cfg ReplayConfig) (ReplayShardResult, error) {
 			return ReplayShardResult{}, engine.ErrInterrupted
 		}
 	}
+	s.Pos(st.Pos())
 	return ReplayShardResult{
 		Shard: s.Index, Flows: cur.Flows, Packets: cur.Packets, Digest: cur.Digest,
 		PeakMB: mbFloat(model.Peak()), FinalMB: mbFloat(model.Live()), Resizes: model.Resizes(),

@@ -29,8 +29,10 @@ import (
 //	DELETE /v1/tenants/<n>/nfs/<nf>  remove one placement
 //	POST /v1/burst             drive one traffic burst {WorkloadSpec}
 //	POST /v1/advance           advance the clock       {"cycles": n}
-//	GET  /v1/metrics           obs metric dump (text, "# snic-metrics v1")
+//	GET  /v1/metrics           obs metric dump (text, "# snic-metrics v1";
+//	                           ?format=prom for Prometheus exposition)
 //	GET  /v1/trace             obs trace (text)
+//	GET  /v1/progress          live run telemetry (JSON snapshot)
 type API struct {
 	m   *Manager
 	mux *http.ServeMux
@@ -50,6 +52,7 @@ func NewAPI(m *Manager) *API {
 	a.mux.HandleFunc("/v1/advance", a.postOnly(a.handleAdvance))
 	a.mux.HandleFunc("/v1/metrics", a.getOnly(a.handleMetrics))
 	a.mux.HandleFunc("/v1/trace", a.getOnly(a.handleTrace))
+	a.mux.HandleFunc("/v1/progress", a.getOnly(a.handleProgress))
 	return a
 }
 
@@ -270,13 +273,25 @@ func (a *API) handleAdvance(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves the registry's canonical sorted text dump — the
-// worker-invariant "# snic-metrics v1" format the scenario suite pins.
+// worker-invariant "# snic-metrics v1" format the scenario suite pins —
+// or, with ?format=prom, the Prometheus text exposition so a stock
+// scrape config can point at a live snicd.
 func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	// The northbound export endpoint is the sanctioned reader: it runs
-	// on the API path, never inside the simulation.
-	//lint:allow transitive-determinism northbound metrics export endpoint, not a simulation-path reader
-	fmt.Fprint(w, a.m.cfg.Obs.DumpMetrics())
+	switch r.URL.Query().Get("format") {
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// The northbound export endpoint is the sanctioned reader: it runs
+		// on the API path, never inside the simulation.
+		//lint:allow transitive-determinism northbound metrics export endpoint, not a simulation-path reader
+		fmt.Fprint(w, a.m.cfg.Obs.DumpMetrics())
+	case "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//lint:allow transitive-determinism northbound metrics export endpoint, not a simulation-path reader
+		fmt.Fprint(w, a.m.cfg.Obs.PromText())
+	default:
+		writeJSON(w, http.StatusBadRequest,
+			apiError{Error: "unknown metrics format " + r.URL.Query().Get("format")})
+	}
 }
 
 // handleTrace serves the registry's deterministic text trace.
@@ -284,4 +299,14 @@ func (a *API) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	//lint:allow transitive-determinism northbound trace export endpoint, not a simulation-path reader
 	fmt.Fprint(w, a.m.cfg.Obs.TraceText())
+}
+
+// handleProgress serves the live-run telemetry snapshot. Unlike the
+// deterministic exports above, this payload is wall-clock-fed and
+// changes between identical runs — it exists for humans and watchers
+// (snicstat -watch), never for goldens.
+func (a *API) handleProgress(w http.ResponseWriter, r *http.Request) {
+	//lint:allow transitive-determinism northbound progress endpoint reads the quarantined live plane, not a simulation-path reader
+	snap := a.m.cfg.Progress.Snapshot()
+	writeJSON(w, http.StatusOK, snap)
 }

@@ -224,6 +224,85 @@ func TestAPIExports(t *testing.T) {
 	}
 }
 
+// TestAPIMetricsPromFormat: ?format=prom serves Prometheus exposition
+// that passes the in-repo validator; unknown formats are 400.
+func TestAPIMetricsPromFormat(t *testing.T) {
+	_, srv := newTestServer(t)
+	seedFleet(t, srv)
+	if _, body := do(t, srv, "POST", "/v1/burst", `{"packets":64}`); body == "" {
+		t.Fatal("burst failed")
+	}
+	got, body := do(t, srv, "GET", "/v1/metrics?format=prom", "")
+	if got != 200 {
+		t.Fatalf("prom export = %d\n%s", got, body)
+	}
+	if !strings.Contains(body, "# TYPE snic_") {
+		t.Fatalf("prom export carries no snic_ families:\n%s", body)
+	}
+	if err := obs.ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("prom export fails validator: %v\n%s", err, body)
+	}
+	if got, _ := do(t, srv, "GET", "/v1/metrics?format=xml", ""); got != 400 {
+		t.Errorf("unknown format = %d, want 400", got)
+	}
+	if got, body := do(t, srv, "GET", "/v1/metrics?format=text", ""); got != 200 ||
+		!strings.HasPrefix(body, "# snic-metrics v1\n") {
+		t.Errorf("explicit text format = %d, %q...", got, body[:min(40, len(body))])
+	}
+}
+
+// TestAPIProgressShape pins the /v1/progress wire contract: a JSON
+// object with every telemetry field, live against a manager with an
+// attached progress collector — and a sane all-zero shape without one.
+func TestAPIProgressShape(t *testing.T) {
+	m, err := NewManager(Config{
+		Seed: 42, Workers: 2,
+		Obs:      obs.NewRegistry(),
+		Progress: obs.NewProgress(nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewAPI(m))
+	t.Cleanup(srv.Close)
+	seedFleet(t, srv)
+	if got, body := do(t, srv, "POST", "/v1/burst", `{"packets":64}`); got != 200 {
+		t.Fatalf("burst = %d\n%s", got, body)
+	}
+	got, body := do(t, srv, "GET", "/v1/progress", "")
+	if got != 200 {
+		t.Fatalf("progress = %d\n%s", got, body)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("progress is not a JSON object: %v\n%s", err, body)
+	}
+	for _, field := range []string{
+		"experiment", "jobs_total", "jobs_done", "jobs_failed",
+		"items", "items_total", "elapsed_sec", "items_per_sec",
+		"eta_sec", "since_save_sec", "active",
+	} {
+		if _, ok := snap[field]; !ok {
+			t.Errorf("progress JSON missing %q: %s", field, body)
+		}
+	}
+	// The burst fanned out engine jobs and they all drained.
+	if snap["jobs_total"].(float64) < 1 || snap["jobs_done"] != snap["jobs_total"] {
+		t.Errorf("jobs = %v/%v, want all burst jobs done",
+			snap["jobs_done"], snap["jobs_total"])
+	}
+	if got, _ := do(t, srv, "POST", "/v1/progress", ""); got != 405 {
+		t.Errorf("POST /v1/progress = %d, want 405", got)
+	}
+
+	// No collector attached: still 200 with the unknown-state snapshot.
+	_, bare := newTestServer(t)
+	got, body = do(t, bare, "GET", "/v1/progress", "")
+	if got != 200 || !strings.Contains(body, `"jobs_total": 0`) {
+		t.Errorf("detached progress = %d, %s", got, body)
+	}
+}
+
 // TestAPIConfigReflectsDeclarations checks /v1/config reports what was
 // declared, not what happened: specs and quotas, no placements.
 func TestAPIConfigReflectsDeclarations(t *testing.T) {

@@ -106,6 +106,10 @@ type Config struct {
 	// traces. Devices with native instrumentation (S-NIC) attach to the
 	// same collector under their fleet name.
 	Obs *obs.Registry
+	// Progress, if set, receives live burst telemetry (jobs per burst)
+	// served at the API's /v1/progress. Quarantined like obs.Wall:
+	// write-only from the fleet, read only northbound.
+	Progress *obs.Progress
 }
 
 // Manager is the fleet control plane. All exported methods are

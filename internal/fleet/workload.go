@@ -100,8 +100,9 @@ func (m *Manager) Burst(spec WorkloadSpec) (BurstResult, error) {
 	// mutations is exactly the semantics the scenario goldens pin.
 	//lint:allow lock-discipline burst jobs own their devices exclusively under mu and never re-enter the manager; serialization is the determinism contract
 	results, _, err := engine.Run(engine.Config{
-		Workers: m.cfg.Workers,
-		Seed:    m.cfg.Seed,
+		Workers:  m.cfg.Workers,
+		Seed:     m.cfg.Seed,
+		Progress: m.cfg.Progress,
 	}, jobs)
 	if err != nil {
 		return BurstResult{}, err

@@ -39,11 +39,55 @@ func (r *Registry) Counter(l Label) *Counter {
 // DumpMetrics renders every series — a reader.
 func (r *Registry) DumpMetrics() string { return "" }
 
+// PromText renders the registry in Prometheus exposition format — a
+// reader, same as DumpMetrics.
+func (r *Registry) PromText() string { return "" }
+
+// Tracer records spans on one named track, optionally as a bounded
+// flight recorder.
+type Tracer struct {
+	spans   []string
+	dropped uint64
+}
+
+// Span appends a record — a write, legal anywhere.
+func (t *Tracer) Span(name string, start, dur uint64) { t.spans = append(t.spans, name) }
+
+// Dropped reads the flight recorder's eviction count back — forbidden
+// in the simulation path.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
+
+// Progress is the live run-telemetry plane: writers feed it from the
+// engine, readers surface it outside the simulation.
+type Progress struct {
+	done int
+	pos  []uint64
+}
+
+// JobDone and Pos write — legal from the simulation path.
+func (p *Progress) JobDone(failed bool) { p.done++ }
+
+// Pos publishes one shard's absolute position — also a write.
+func (p *Progress) Pos(shard int, pos uint64) {}
+
+// ProgressSnapshot is the read-side view of a Progress.
+type ProgressSnapshot struct{ JobsDone int }
+
+// Snapshot reads the telemetry back — forbidden in the simulation path.
+func (p *Progress) Snapshot() ProgressSnapshot { return ProgressSnapshot{JobsDone: p.done} }
+
 // ParseDump parses a rendered dump — a reader.
 func ParseDump(data string) map[string]int64 { return map[string]int64{} }
 
 // Diff compares two parsed dumps — a reader.
 func Diff(old, new map[string]int64, all bool) (string, int) { return "", 0 }
+
+// HistSummary is one histogram's percentile summary.
+type HistSummary struct{ Series string }
+
+// HistSummaries reconstructs percentile summaries from a parsed dump —
+// a reader.
+func HistSummaries(dump map[string]int64) []HistSummary { return nil }
 
 // Even a well-formed waiver is a finding inside obs:
 //

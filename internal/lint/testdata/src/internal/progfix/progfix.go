@@ -1,0 +1,39 @@
+// Package progfix deliberately violates the obs read-back rule with the
+// live-telemetry and flight-recorder APIs: a simulation-path package
+// that feeds the progress plane (legal) and then reads it back through
+// helper chains (forbidden). The findings must carry the full call path
+// from the exported entry point, proving the rule is interprocedural
+// for the new readers too.
+package progfix
+
+import "snic/internal/obs"
+
+// Publish feeds the progress plane — writes only, must not fire.
+func Publish(p *obs.Progress, shard int, pos uint64) {
+	p.Pos(shard, pos)
+	p.JobDone(false)
+}
+
+// Record appends a span to a flight recorder — a write, must not fire.
+func Record(t *obs.Tracer) { t.Span("step", 0, 1) }
+
+// Pace branches on the live telemetry two helpers deep: the simulation
+// throttling itself on its own progress readback.
+func Pace(p *obs.Progress) bool { return behind(p) }
+
+func behind(p *obs.Progress) bool { return lag(p) > 0 }
+
+func lag(p *obs.Progress) int { return 10 - p.Snapshot().JobsDone }
+
+// Refill branches on the recorder's eviction count through a helper.
+func Refill(t *obs.Tracer) bool { return evicted(t) > 0 }
+
+func evicted(t *obs.Tracer) uint64 { return t.Dropped() }
+
+// Scrape renders the Prometheus exposition inside the simulated path.
+func Scrape(r *obs.Registry) string { return r.PromText() }
+
+// Percentiles round-trips a dump through the histogram reader.
+func Percentiles(dump string) []obs.HistSummary {
+	return obs.HistSummaries(obs.ParseDump(dump))
+}

@@ -41,24 +41,30 @@ const obsPath = "snic/internal/obs"
 // data back out. Conversion helpers (MSToCycles) and constructors
 // (NewRegistry, NewWall) are not readers: they carry no collected state.
 var obsReaderFuncs = map[string]bool{
-	"ParseDump": true,
-	"Diff":      true,
+	"ParseDump":     true,
+	"Diff":          true,
+	"HistSummaries": true,
+	"HistQuantile":  true,
 }
 
 // obsReaderMethods are the methods on obs types that read collected data
-// back out. Writers (Add, Inc, Set, Observe, Span, Event, Tick) and the
-// quarantined wall-clock pair (Wall.Start, Wall.Since) are deliberately
-// absent: simulation-path code may feed the collector and may time its
-// own -v progress output, but must never branch on what was collected.
+// back out. Writers (Add, Inc, Set, Observe, Span, Event, Tick, and the
+// Progress writers Begin/JobDone/Pos/Saved) and the quarantined
+// wall-clock pair (Wall.Start, Wall.Since) are deliberately absent:
+// simulation-path code may feed the collector and may time its own -v
+// progress output, but must never branch on what was collected.
 var obsReaderMethods = map[string]bool{
 	"Value":       true, // Counter, Gauge
 	"Count":       true, // Histogram
 	"Sum":         true, // Histogram
 	"Buckets":     true, // Histogram
 	"Records":     true, // Tracer
+	"Dropped":     true, // Tracer (flight-recorder eviction count)
 	"DumpMetrics": true, // Registry
 	"ChromeTrace": true, // Registry
 	"TraceText":   true, // Registry
+	"PromText":    true, // Registry
+	"Snapshot":    true, // Progress (live telemetry readback)
 }
 
 // TransDeterminism enforces DESIGN.md's determinism promise through the

@@ -58,7 +58,23 @@ func (r *Registry) snapshot() []sample {
 			out = append(out, sample{"hist_bucket", bl, int64(n)})
 		}
 	}
+	// Flight-recorder truncation: any track that evicted records dumps a
+	// dropped_spans counter, so a bounded run can never silently pass as
+	// a complete trace. Tracks that dropped nothing emit nothing, keeping
+	// the dump byte-identical to the unbounded form below capacity.
+	tracks := r.sortedTracks()
+	tracers := make([]*Tracer, len(tracks))
+	for i, name := range tracks {
+		tracers[i] = r.tracers[name]
+	}
 	r.mu.Unlock()
+	for i, name := range tracks {
+		if d := tracers[i].Dropped(); d > 0 {
+			out = append(out, sample{"counter", Label{
+				Device: "trace", Owner: "-", Component: name, Name: "dropped_spans",
+			}, int64(d)})
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
 	return out
 }
@@ -105,6 +121,11 @@ func ParseDump(rd io.Reader) (map[string]int64, error) {
 		fields := strings.Fields(text)
 		if len(fields) != 6 {
 			return nil, fmt.Errorf("line %d: want 6 fields, got %d", line, len(fields))
+		}
+		switch fields[0] {
+		case "counter", "gauge", "hist_count", "hist_sum", "hist_bucket":
+		default:
+			return nil, fmt.Errorf("line %d: unknown sample kind %q", line, fields[0])
 		}
 		v, err := strconv.ParseInt(fields[5], 10, 64)
 		if err != nil {

@@ -39,17 +39,32 @@ func TestParseDumpRoundTrip(t *testing.T) {
 }
 
 // TestParseDumpErrors: snicstat exits 2 on malformed input rather than
-// mis-diffing, so each malformation must be an error.
+// mis-diffing, so each malformation must be an error, and each error
+// must name the offending line so a corrupted multi-megabyte dump is
+// debuggable.
 func TestParseDumpErrors(t *testing.T) {
-	for name, in := range map[string]string{
-		"empty":      "",
-		"bad header": "# not-metrics v9\ncounter a b c d 1\n",
-		"short line": "# snic-metrics v1\ncounter a b c 1\n",
-		"bad value":  "# snic-metrics v1\ncounter a b c d xyz\n",
-		"duplicate":  "# snic-metrics v1\ncounter a b c d 1\ncounter a b c d 2\n",
+	for _, tc := range []struct {
+		name    string
+		in      string
+		wantErr string
+	}{
+		{"empty", "", "empty input"},
+		{"bad header", "# not-metrics v9\ncounter a b c d 1\n", "bad header"},
+		{"short line", "# snic-metrics v1\ncounter a b c 1\n", "line 2: want 6 fields"},
+		{"long line", "# snic-metrics v1\ncounter a b c d 1 extra\n", "line 2: want 6 fields"},
+		{"bad kind", "# snic-metrics v1\nhist a b c d 1\n", "line 2: unknown sample kind"},
+		{"bad value", "# snic-metrics v1\ncounter a b c d xyz\n", "line 2: bad value"},
+		{"float value", "# snic-metrics v1\ncounter a b c d 1.5\n", "line 2: bad value"},
+		{"duplicate", "# snic-metrics v1\ncounter a b c d 1\n\ncounter a b c d 2\n", "line 4: duplicate series"},
+		{"late error", "# snic-metrics v1\ncounter a b c d 1\ngauge a b c d 2\nbogus a b c d 3\n", "line 4: unknown sample kind"},
 	} {
-		if _, err := ParseDump(strings.NewReader(in)); err == nil {
-			t.Errorf("%s: ParseDump accepted %q", name, in)
+		_, err := ParseDump(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: ParseDump accepted %q", tc.name, tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
 		}
 	}
 	// Comments and blank lines beyond the header are tolerated.

@@ -31,10 +31,12 @@ type TraceFile struct {
 
 // trackSnapshot pairs a track name with a copy of its records, taken in
 // name order so exports never depend on map iteration or on which
-// worker populated a track first.
+// worker populated a track first. dropped carries the flight recorder's
+// eviction count so truncated exports announce themselves.
 type trackSnapshot struct {
-	track string
-	recs  []Record
+	track   string
+	recs    []Record
+	dropped uint64
 }
 
 func (r *Registry) snapshotTracks() []trackSnapshot {
@@ -50,7 +52,7 @@ func (r *Registry) snapshotTracks() []trackSnapshot {
 	r.mu.Unlock()
 	out := make([]trackSnapshot, len(names))
 	for i, n := range names {
-		out[i] = trackSnapshot{track: n, recs: tracers[i].Records()}
+		out[i] = trackSnapshot{track: n, recs: tracers[i].Records(), dropped: tracers[i].Dropped()}
 	}
 	return out
 }
@@ -69,12 +71,16 @@ func (r *Registry) ChromeTrace() ([]byte, error) {
 	}
 	for i, ts := range r.snapshotTracks() {
 		pid := i + 1
-		tf.TraceEvents = append(tf.TraceEvents, ChromeEvent{
+		meta := ChromeEvent{
 			Name: "process_name",
 			Ph:   "M",
 			PID:  pid,
 			Args: map[string]string{"name": ts.track},
-		})
+		}
+		if ts.dropped > 0 {
+			meta.Args["dropped_spans"] = fmt.Sprintf("%d", ts.dropped)
+		}
+		tf.TraceEvents = append(tf.TraceEvents, meta)
 		for _, rec := range ts.recs {
 			ev := ChromeEvent{
 				Name: rec.Name,
@@ -103,7 +109,11 @@ func (r *Registry) TraceText() string {
 	var b strings.Builder
 	b.WriteString("# snic-trace v1\n")
 	for _, ts := range r.snapshotTracks() {
-		fmt.Fprintf(&b, "track %s\n", ts.track)
+		if ts.dropped > 0 {
+			fmt.Fprintf(&b, "track %s (flight recorder dropped %d)\n", ts.track, ts.dropped)
+		} else {
+			fmt.Fprintf(&b, "track %s\n", ts.track)
+		}
 		for _, rec := range ts.recs {
 			if rec.Instant {
 				fmt.Fprintf(&b, "  @ %10d           %s %s\n", rec.Start, rec.Component, rec.Name)

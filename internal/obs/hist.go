@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HistQuantile estimates the q-quantile (0 < q <= 1) of a power-of-two
+// bucketed histogram by linear interpolation inside the bucket holding
+// the target rank, the same estimate Prometheus' histogram_quantile
+// computes. Bucket k spans [2^(k-1), 2^k-1] (bucket 0 is exactly zero),
+// so the estimate is off by at most the bucket width — good enough for
+// the order-of-magnitude reading percentile summaries exist for.
+// Returns 0 on an empty histogram.
+func HistQuantile(buckets [histBuckets]uint64, q float64) float64 {
+	var total uint64
+	for _, n := range buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum float64
+	for k := 0; k < histBuckets; k++ {
+		if buckets[k] == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(buckets[k])
+		if cum < target {
+			continue
+		}
+		lower, upper := float64(0), float64(0)
+		if k > 0 {
+			lower = float64(uint64(1) << uint(k-1))
+			upper = float64(bucketUpper(k))
+		}
+		frac := 0.0
+		if buckets[k] > 0 {
+			frac = (target - prev) / float64(buckets[k])
+		}
+		return lower + frac*(upper-lower)
+	}
+	return float64(bucketUpper(histBuckets - 1))
+}
+
+// HistSummary is one histogram series reconstructed from a metrics
+// dump, with interpolated percentile estimates.
+type HistSummary struct {
+	Series        string // "device owner component name"
+	Count         uint64
+	Sum           uint64
+	P50, P90, P99 float64
+}
+
+// HistSummaries reconstructs every histogram in a ParseDump map (the
+// hist_count/hist_sum/hist_bucket triples DumpMetrics renders) and
+// returns percentile summaries sorted by series. Non-histogram samples
+// are ignored, so any valid dump works. (Reader API: tools and tests
+// only.)
+func HistSummaries(dump map[string]int64) []HistSummary {
+	type acc struct {
+		count, sum uint64
+		buckets    [histBuckets]uint64
+	}
+	hists := make(map[string]*acc)
+	get := func(series string) *acc {
+		a, ok := hists[series]
+		if !ok {
+			a = &acc{}
+			hists[series] = a
+		}
+		return a
+	}
+	for key, v := range dump {
+		fields := strings.Fields(key)
+		if len(fields) != 5 {
+			continue
+		}
+		kind, series := fields[0], strings.Join(fields[1:], " ")
+		switch kind {
+		case "hist_count":
+			get(series).count = uint64(v)
+		case "hist_sum":
+			get(series).sum = uint64(v)
+		case "hist_bucket":
+			// The bucket index rides on the name as a "/bitNN" suffix.
+			name := fields[4]
+			i := strings.LastIndex(name, "/bit")
+			if i < 0 {
+				continue
+			}
+			bit, err := strconv.Atoi(name[i+4:])
+			if err != nil || bit < 0 || bit >= histBuckets {
+				continue
+			}
+			base := strings.Join(fields[1:4], " ") + " " + name[:i]
+			get(base).buckets[bit] = uint64(v)
+		}
+	}
+	series := make([]string, 0, len(hists))
+	for s := range hists {
+		series = append(series, s)
+	}
+	sort.Strings(series)
+	out := make([]HistSummary, 0, len(series))
+	for _, s := range series {
+		a := hists[s]
+		out = append(out, HistSummary{
+			Series: s,
+			Count:  a.count,
+			Sum:    a.sum,
+			P50:    HistQuantile(a.buckets, 0.50),
+			P90:    HistQuantile(a.buckets, 0.90),
+			P99:    HistQuantile(a.buckets, 0.99),
+		})
+	}
+	return out
+}

@@ -196,6 +196,7 @@ type Registry struct {
 	gauges   map[Label]*Gauge
 	hists    map[Label]*Histogram
 	tracers  map[string]*Tracer
+	traceCap int // flight-recorder capacity applied to every track; 0 = unbounded
 }
 
 // NewRegistry returns an empty collector.
@@ -270,10 +271,42 @@ func (r *Registry) Tracer(track string) *Tracer {
 	defer r.mu.Unlock()
 	t, ok := r.tracers[track]
 	if !ok {
-		t = &Tracer{track: track}
+		t = &Tracer{track: track, cap: r.traceCap}
 		r.tracers[track] = t
 	}
 	return t
+}
+
+// SetTraceCapacity turns the registry's tracers into a flight recorder:
+// every track — existing and future — retains at most n records
+// (keep-last-n per track; 0 restores unbounded collection). Retention is
+// deterministic per track, so bounded exports stay worker-count
+// invariant, and exports are byte-identical to the unbounded form
+// whenever no track exceeded n. Call it once right after NewRegistry:
+// capacity is part of the run's configuration, not something to toggle
+// mid-sweep.
+func (r *Registry) SetTraceCapacity(n int) {
+	if r == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	r.mu.Lock()
+	r.traceCap = n
+	tracks := make([]string, 0, len(r.tracers))
+	for track := range r.tracers {
+		tracks = append(tracks, track)
+	}
+	sort.Strings(tracks)
+	tracers := make([]*Tracer, 0, len(tracks))
+	for _, track := range tracks {
+		tracers = append(tracers, r.tracers[track])
+	}
+	r.mu.Unlock()
+	for _, t := range tracers {
+		t.SetCapacity(n)
+	}
 }
 
 // sortedCounterLabels returns the registered counter labels in render

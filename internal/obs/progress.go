@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress is the live-run telemetry collector: a quarantined,
+// wall-clock-fed view of how far a sweep has gotten, for humans
+// watching a long replay — never for the simulation. Like Wall (whose
+// readings it aggregates) it lives outside every deterministic export:
+// nothing in a metrics dump, trace file, or experiment result derives
+// from it, and the sniclint transitive-determinism check forbids
+// simulation-path code from calling the Snapshot reader.
+//
+// Writers (Begin, JobDone, Pos, Saved) are nil-safe no-ops like every
+// other obs handle, so the engine publishes unconditionally and pays
+// one branch when no one is watching.
+type Progress struct {
+	mu         sync.Mutex
+	wall       *Wall
+	experiment string
+	jobsTotal  int
+	jobsDone   int
+	jobsFailed int
+	target     uint64 // expected total items (0 = unknown)
+	pos        []uint64
+	start      time.Time
+	lastSave   time.Time
+	active     bool
+}
+
+// NewProgress returns a collector reading wall time from w (inject a
+// fake in tests; production callers pass engine.DefaultWall so no new
+// time.Now site appears).
+func NewProgress(w *Wall) *Progress {
+	return &Progress{wall: w}
+}
+
+// Begin (re)arms the collector for a run of jobs total jobs expected to
+// draw target items (0 when unknown). Safe on a nil handle.
+func (p *Progress) Begin(experiment string, jobs int, target uint64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.experiment = experiment
+	p.jobsTotal = jobs
+	p.jobsDone, p.jobsFailed = 0, 0
+	p.target = target
+	p.pos = make([]uint64, jobs)
+	p.start = p.wall.Start()
+	p.lastSave = time.Time{}
+	p.active = true
+}
+
+// JobDone records one finished job. Safe on a nil handle.
+func (p *Progress) JobDone(failed bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.jobsDone++
+	if failed {
+		p.jobsFailed++
+	}
+	if p.jobsDone >= p.jobsTotal {
+		p.active = false
+	}
+}
+
+// Pos records job's current item position (for replay shards, the
+// stream position: packets drawn). Positions are absolute, so calling
+// with the same value twice is idempotent. Safe on a nil handle.
+func (p *Progress) Pos(job int, pos uint64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if job >= 0 && job < len(p.pos) {
+		p.pos[job] = pos
+	}
+}
+
+// Saved records a checkpoint save, so watchers can see how much work a
+// kill would lose. Safe on a nil handle.
+func (p *Progress) Saved() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lastSave = p.wall.Start()
+}
+
+// ProgressSnapshot is one observation of a run, shaped for the snicd
+// /v1/progress JSON response and the snicbench -progress line. Items
+// counts only this process's draws (a resumed sweep skips finished
+// shards), so ItemsPerSec reflects live throughput while EtaSec can
+// overestimate right after a resume. EtaSec and SinceSaveSec are -1
+// when unknown (no target / no rate / no save yet).
+type ProgressSnapshot struct {
+	Experiment   string  `json:"experiment"`
+	JobsTotal    int     `json:"jobs_total"`
+	JobsDone     int     `json:"jobs_done"`
+	JobsFailed   int     `json:"jobs_failed"`
+	Items        uint64  `json:"items"`
+	ItemsTotal   uint64  `json:"items_total"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	ItemsPerSec  float64 `json:"items_per_sec"`
+	EtaSec       float64 `json:"eta_sec"`
+	SinceSaveSec float64 `json:"since_save_sec"`
+	Active       bool    `json:"active"`
+}
+
+// Snapshot returns the current observation (reader API: tools, the
+// fleet API handler, and tests only — never the simulation path).
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{EtaSec: -1, SinceSaveSec: -1}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := ProgressSnapshot{
+		Experiment:   p.experiment,
+		JobsTotal:    p.jobsTotal,
+		JobsDone:     p.jobsDone,
+		JobsFailed:   p.jobsFailed,
+		ItemsTotal:   p.target,
+		EtaSec:       -1,
+		SinceSaveSec: -1,
+		Active:       p.active,
+	}
+	for _, v := range p.pos {
+		s.Items += v
+	}
+	if !p.start.IsZero() {
+		s.ElapsedSec = p.wall.Since(p.start).Seconds()
+	}
+	if s.ElapsedSec > 0 {
+		s.ItemsPerSec = float64(s.Items) / s.ElapsedSec
+	}
+	if p.target > 0 && s.ItemsPerSec > 0 && s.Items < p.target {
+		s.EtaSec = float64(p.target-s.Items) / s.ItemsPerSec
+	}
+	if !p.lastSave.IsZero() {
+		s.SinceSaveSec = p.wall.Since(p.lastSave).Seconds()
+	}
+	return s
+}
+
+// String renders the snapshot as the one-line form snicbench -progress
+// prints: pure formatting of already-read values, usable anywhere.
+func (s ProgressSnapshot) String() string {
+	var b strings.Builder
+	name := s.Experiment
+	if name == "" {
+		name = "-"
+	}
+	fmt.Fprintf(&b, "progress %s: jobs %d/%d", name, s.JobsDone, s.JobsTotal)
+	if s.JobsFailed > 0 {
+		fmt.Fprintf(&b, " (%d failed)", s.JobsFailed)
+	}
+	if s.ItemsTotal > 0 {
+		fmt.Fprintf(&b, " items %d/%d (%.1f%%)", s.Items, s.ItemsTotal,
+			100*float64(s.Items)/float64(s.ItemsTotal))
+	} else if s.Items > 0 {
+		fmt.Fprintf(&b, " items %d", s.Items)
+	}
+	if s.ItemsPerSec > 0 {
+		fmt.Fprintf(&b, " %.0f/s", s.ItemsPerSec)
+	}
+	if s.EtaSec >= 0 {
+		fmt.Fprintf(&b, " eta %s", (time.Duration(s.EtaSec * float64(time.Second))).Round(time.Second))
+	}
+	if s.SinceSaveSec >= 0 {
+		fmt.Fprintf(&b, " saved %.1fs ago", s.SinceSaveSec)
+	}
+	if !s.Active && s.JobsTotal > 0 && s.JobsDone >= s.JobsTotal {
+		b.WriteString(" done")
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestProgressNilSafe: a detached progress collector no-ops every
+// writer and snapshots to the unknown state, matching the obs handle
+// convention.
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.Begin("x", 4, 100)
+	p.JobDone(false)
+	p.Pos(0, 10)
+	p.Saved()
+	s := p.Snapshot()
+	if s.JobsTotal != 0 || s.Items != 0 || s.Active {
+		t.Fatalf("nil progress accumulated state: %+v", s)
+	}
+	if s.EtaSec != -1 || s.SinceSaveSec != -1 {
+		t.Fatalf("nil snapshot unknowns = %v/%v, want -1/-1", s.EtaSec, s.SinceSaveSec)
+	}
+}
+
+// TestProgressSnapshot drives a run against a fake wall (10 ms per
+// read) and checks the derived rates, ETA, and save lag.
+func TestProgressSnapshot(t *testing.T) {
+	p := NewProgress(NewWall(fakeClock(10)))
+	p.Begin("replay", 4, 1000)
+	p.Pos(0, 100)
+	p.Pos(1, 150)
+	p.Pos(0, 200) // positions are absolute, not deltas
+	p.JobDone(false)
+	p.JobDone(true)
+	p.Saved()
+	s := p.Snapshot()
+	if s.Experiment != "replay" || s.JobsTotal != 4 || s.JobsDone != 2 || s.JobsFailed != 1 {
+		t.Fatalf("job counts: %+v", s)
+	}
+	if s.Items != 350 || s.ItemsTotal != 1000 {
+		t.Fatalf("items = %d/%d, want 350/1000", s.Items, s.ItemsTotal)
+	}
+	if !s.Active {
+		t.Fatal("run with pending jobs not active")
+	}
+	// Begin and Saved each consumed one clock step; Snapshot reads two
+	// more (elapsed, save lag): elapsed = 2 steps = 20 ms at snapshot.
+	if s.ElapsedSec <= 0 || s.ItemsPerSec <= 0 {
+		t.Fatalf("rates not derived: %+v", s)
+	}
+	if s.EtaSec <= 0 {
+		t.Fatalf("eta = %v, want > 0 with a target and a rate", s.EtaSec)
+	}
+	if s.SinceSaveSec < 0 {
+		t.Fatalf("save lag = %v, want >= 0 after Saved", s.SinceSaveSec)
+	}
+	// Out-of-range positions are dropped, not panics.
+	p.Pos(-1, 5)
+	p.Pos(99, 5)
+	if got := p.Snapshot().Items; got != 350 {
+		t.Fatalf("out-of-range Pos changed items: %d", got)
+	}
+	// Finishing every job deactivates the run.
+	p.JobDone(false)
+	p.JobDone(false)
+	if s := p.Snapshot(); s.Active {
+		t.Fatal("finished run still active")
+	}
+}
+
+// TestProgressSnapshotJSON pins the wire shape the snicd /v1/progress
+// endpoint serves.
+func TestProgressSnapshotJSON(t *testing.T) {
+	p := NewProgress(NewWall(fakeClock(10)))
+	p.Begin("replay", 2, 100)
+	raw, err := json.Marshal(p.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"experiment"`, `"jobs_total"`, `"jobs_done"`, `"jobs_failed"`,
+		`"items"`, `"items_total"`, `"elapsed_sec"`, `"items_per_sec"`,
+		`"eta_sec"`, `"since_save_sec"`, `"active"`,
+	} {
+		if !strings.Contains(string(raw), field) {
+			t.Errorf("snapshot JSON missing %s: %s", field, raw)
+		}
+	}
+}
+
+// TestProgressString: the -progress line includes the load-bearing
+// numbers and renders something sane with no target.
+func TestProgressString(t *testing.T) {
+	p := NewProgress(NewWall(fakeClock(10)))
+	p.Begin("replay", 4, 1000)
+	p.Pos(0, 350)
+	p.JobDone(false)
+	line := p.Snapshot().String()
+	for _, want := range []string{"replay", "1/4", "350/1000", "eta"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+	if got := (ProgressSnapshot{}).String(); !strings.HasPrefix(got, "progress -: jobs 0/0") {
+		t.Errorf("zero snapshot line = %q", got)
+	}
+	// Begin resets everything for the next sweep.
+	p.Begin("fig5a", 2, 0)
+	if s := p.Snapshot(); s.Items != 0 || s.JobsDone != 0 || s.Experiment != "fig5a" {
+		t.Fatalf("Begin did not reset: %+v", s)
+	}
+}

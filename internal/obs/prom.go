@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promName maps a series name into the Prometheus metric-name charset
+// ([a-zA-Z0-9_:], no leading digit) under the repo-wide snic_ prefix.
+// The mapping is injective enough in practice: dump names use the same
+// [/._-] separators, which all become underscores.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("snic_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promLabels renders a Label as an exposition label set with the keys
+// in alphabetical order (component, device, owner). extra, when
+// non-empty, is appended verbatim as a final pair — the histogram le
+// label. The rendering is a pure function of the label, which is what
+// keeps the exposition byte-stable.
+func promLabels(l Label, extra string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	fmt.Fprintf(&b, "component=%q,device=%q,owner=%q",
+		promEscape(l.Component), promEscape(l.Device), promEscape(l.Owner))
+	if extra != "" {
+		b.WriteByte(',')
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promFamily is one metric family during rendering: its TYPE, a HELP
+// line, and the series lines in a deterministic order.
+type promFamily struct {
+	typ   string
+	help  string
+	lines []string
+}
+
+// bucketUpper returns the inclusive upper bound of power-of-two bucket
+// k: 0 for the zero bucket, 2^k-1 otherwise (wrapping to MaxUint64 for
+// k=64 — exactly the largest representable sample).
+func bucketUpper(k int) uint64 {
+	if k == 0 {
+		return 0
+	}
+	return (uint64(1) << uint(k)) - 1
+}
+
+// PromText renders every registered series in the Prometheus text
+// exposition format (text/plain; version=0.0.4): counters as
+// <name>_total, gauges bare, and power-of-two histograms as cumulative
+// <name>_bucket{le=...}/<name>_sum/<name>_count, with bucket upper
+// bounds 0, 1, 3, 7, ... 2^k-1. Families sort by metric name and series
+// within a family by label, so output is byte-identical for identical
+// aggregate values regardless of worker count or registration order.
+// Flight-recorder truncation shows up as snic_dropped_spans_total, one
+// series per truncated track. A nil registry renders nothing. (Reader
+// API: tools and tests only.)
+func (r *Registry) PromText() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	counterLabels := r.sortedCounterLabels()
+	gaugeLabels := r.sortedGaugeLabels()
+	histLabels := r.sortedHistLabels()
+	tracks := r.sortedTracks()
+	counters := make([]*Counter, len(counterLabels))
+	for i, l := range counterLabels {
+		counters[i] = r.counters[l]
+	}
+	gauges := make([]*Gauge, len(gaugeLabels))
+	for i, l := range gaugeLabels {
+		gauges[i] = r.gauges[l]
+	}
+	hists := make([]*Histogram, len(histLabels))
+	for i, l := range histLabels {
+		hists[i] = r.hists[l]
+	}
+	tracers := make([]*Tracer, len(tracks))
+	for i, n := range tracks {
+		tracers[i] = r.tracers[n]
+	}
+	r.mu.Unlock()
+
+	fams := make(map[string]*promFamily)
+	family := func(name, typ, origin string) *promFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{typ: typ, help: fmt.Sprintf("snic %s %s", typ, origin)}
+			fams[name] = f
+		}
+		return f
+	}
+	for i, l := range counterLabels {
+		f := family(promName(l.Name)+"_total", "counter", l.Name)
+		f.lines = append(f.lines, fmt.Sprintf("%s%s %d",
+			promName(l.Name)+"_total", promLabels(l, ""), counters[i].Value()))
+	}
+	for i, l := range gaugeLabels {
+		f := family(promName(l.Name), "gauge", l.Name)
+		f.lines = append(f.lines, fmt.Sprintf("%s%s %d",
+			promName(l.Name), promLabels(l, ""), gauges[i].Value()))
+	}
+	for i, l := range histLabels {
+		name := promName(l.Name)
+		f := family(name, "histogram", l.Name)
+		b := hists[i].Buckets()
+		var cum uint64
+		for k := 0; k < histBuckets; k++ {
+			if b[k] == 0 {
+				continue
+			}
+			cum += b[k]
+			le := strconv.FormatUint(bucketUpper(k), 10)
+			f.lines = append(f.lines, fmt.Sprintf("%s_bucket%s %d",
+				name, promLabels(l, `le="`+le+`"`), cum))
+		}
+		f.lines = append(f.lines, fmt.Sprintf("%s_bucket%s %d",
+			name, promLabels(l, `le="+Inf"`), hists[i].Count()))
+		f.lines = append(f.lines, fmt.Sprintf("%s_sum%s %d", name, promLabels(l, ""), hists[i].Sum()))
+		f.lines = append(f.lines, fmt.Sprintf("%s_count%s %d", name, promLabels(l, ""), hists[i].Count()))
+	}
+	for i, track := range tracks {
+		d := tracers[i].Dropped()
+		if d == 0 {
+			continue
+		}
+		l := Label{Device: "trace", Owner: "-", Component: track, Name: "dropped_spans"}
+		f := family("snic_dropped_spans_total", "counter", "dropped_spans")
+		f.lines = append(f.lines, fmt.Sprintf("snic_dropped_spans_total%s %d", promLabels(l, ""), d))
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out strings.Builder
+	for _, n := range names {
+		f := fams[n]
+		fmt.Fprintf(&out, "# HELP %s %s\n# TYPE %s %s\n", n, f.help, n, f.typ)
+		// Histogram series keep their per-label emission order (buckets
+		// ascending, then sum, then count); scalar families sort.
+		if f.typ != "histogram" {
+			sort.Strings(f.lines)
+		}
+		for _, line := range f.lines {
+			out.WriteString(line)
+			out.WriteByte('\n')
+		}
+	}
+	return out.String()
+}

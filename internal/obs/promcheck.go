@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text-exposition payload with
+// the stdlib only (the repo bans promtool along with every other
+// dependency): metric-name and label syntax, float values, TYPE
+// declared before and at most once per family, no duplicate series,
+// and for histogram families cumulative buckets that are non-decreasing
+// in ascending le order with a +Inf bucket equal to the family's
+// _count. Errors carry the offending line number. It validates format,
+// not meaning — values are not compared against any registry.
+func ValidateExposition(rd io.Reader) error {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	types := make(map[string]string)   // family -> declared TYPE
+	seen := make(map[string]int)       // canonical series -> first line
+	hist := make(map[string]*histSpec) // family|labels-sans-le -> bucket spec
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if err := checkComment(text, types); err != nil {
+				return fmt.Errorf("line %d: %v", line, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSeries(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		fam := familyOf(name, types)
+		if _, ok := types[fam]; !ok {
+			return fmt.Errorf("line %d: series %q has no preceding # TYPE %s", line, name, fam)
+		}
+		key := name + canonicalLabels(labels)
+		if prev, dup := seen[key]; dup {
+			return fmt.Errorf("line %d: duplicate series %q (first at line %d)", line, key, prev)
+		}
+		seen[key] = line
+		if types[fam] == "histogram" {
+			recordHistSample(hist, fam, name, labels, value, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, spec := range hist {
+		if err := spec.check(); err != nil {
+			return fmt.Errorf("histogram %s: %v", key, err)
+		}
+	}
+	return nil
+}
+
+// checkComment validates # HELP / # TYPE lines and records TYPEs. Other
+// comments pass through.
+func checkComment(text string, types map[string]string) error {
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", text)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed TYPE line %q", text)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		if _, dup := types[fields[2]]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", fields[2])
+		}
+		types[fields[2]] = fields[3]
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.ContainsRune(s, ':') {
+		return false
+	}
+	return validMetricName(s)
+}
+
+// parseSeries splits "name{l1="v1",...} value" into its parts. The
+// label block is optional; the value must parse as a float (+Inf, -Inf
+// and NaN included).
+func parseSeries(text string) (name string, labels map[string]string, value float64, err error) {
+	rest := text
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("series %q has no value", text)
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	labels = map[string]string{}
+	if rest[0] == '{' {
+		rest, err = parseLabelBlock(rest, labels)
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	valueText := strings.TrimSpace(rest)
+	if f := strings.Fields(valueText); len(f) == 2 {
+		// Optional trailing timestamp.
+		if _, terr := strconv.ParseInt(f[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", f[1])
+		}
+		valueText = f[0]
+	} else if len(f) != 1 {
+		return "", nil, 0, fmt.Errorf("want 'value [timestamp]', got %q", valueText)
+	}
+	value, err = strconv.ParseFloat(valueText, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", valueText, err)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabelBlock consumes a {name="value",...} block (escapes \\ \" \n
+// honored) and returns the remainder of the line.
+func parseLabelBlock(s string, labels map[string]string) (string, error) {
+	s = s[1:] // consume '{'
+	for {
+		s = strings.TrimLeft(s, " ")
+		if s == "" {
+			return "", fmt.Errorf("unterminated label block")
+		}
+		if s[0] == '}' {
+			return s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("label without '=' near %q", s)
+		}
+		lname := strings.TrimSpace(s[:eq])
+		if !validLabelName(lname) {
+			return "", fmt.Errorf("invalid label name %q", lname)
+		}
+		s = strings.TrimLeft(s[eq+1:], " ")
+		if s == "" || s[0] != '"' {
+			return "", fmt.Errorf("label %q value is not quoted", lname)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return "", fmt.Errorf("unterminated value for label %q", lname)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if s == "" {
+					return "", fmt.Errorf("dangling escape in label %q", lname)
+				}
+				switch s[0] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("bad escape \\%c in label %q", s[0], lname)
+				}
+				s = s[1:]
+				continue
+			}
+			val.WriteByte(c)
+		}
+		if _, dup := labels[lname]; dup {
+			return "", fmt.Errorf("duplicate label %q", lname)
+		}
+		labels[lname] = val.String()
+		s = strings.TrimLeft(s, " ")
+		if s != "" && s[0] == ',' {
+			s = s[1:]
+		}
+	}
+}
+
+// familyOf strips the histogram/summary sample suffixes when the base
+// name has a declared TYPE, so x_bucket lines attach to family x.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func canonicalLabels(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// histSpec accumulates one histogram series (a family under one
+// non-le label set) for the cumulative-bucket checks.
+type histSpec struct {
+	les      []float64
+	counts   []float64
+	count    float64
+	hasCount bool
+}
+
+func recordHistSample(hist map[string]*histSpec, fam, name string, labels map[string]string, value float64, line int) {
+	rest := make(map[string]string, len(labels))
+	for k, v := range labels {
+		if k != "le" {
+			rest[k] = v
+		}
+	}
+	key := fam + canonicalLabels(rest)
+	spec, ok := hist[key]
+	if !ok {
+		spec = &histSpec{}
+		hist[key] = spec
+	}
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		le := math.Inf(1)
+		if s, ok := labels["le"]; ok && s != "+Inf" {
+			le, _ = strconv.ParseFloat(s, 64)
+		}
+		spec.les = append(spec.les, le)
+		spec.counts = append(spec.counts, value)
+	case strings.HasSuffix(name, "_count"):
+		spec.count = value
+		spec.hasCount = true
+	}
+}
+
+func (h *histSpec) check() error {
+	if len(h.les) == 0 {
+		return fmt.Errorf("no _bucket series")
+	}
+	idx := make([]int, len(h.les))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return h.les[idx[a]] < h.les[idx[b]] })
+	prev := math.Inf(-1)
+	prevCount := -1.0
+	for _, i := range idx {
+		if h.les[i] == prev {
+			return fmt.Errorf("duplicate le bound %v", prev)
+		}
+		if h.counts[i] < prevCount {
+			return fmt.Errorf("bucket counts not cumulative at le=%v (%v < %v)",
+				h.les[i], h.counts[i], prevCount)
+		}
+		prev, prevCount = h.les[i], h.counts[i]
+	}
+	last := idx[len(idx)-1]
+	if !math.IsInf(h.les[last], 1) {
+		return fmt.Errorf("missing le=\"+Inf\" bucket")
+	}
+	if h.hasCount && h.counts[last] != h.count {
+		return fmt.Errorf("+Inf bucket %v != _count %v", h.counts[last], h.count)
+	}
+	return nil
+}
