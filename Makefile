@@ -87,9 +87,9 @@ golden:
 # "post" by convention; record a pre-change tree with
 # BENCH_SECTION=baseline) and compared with `snicperf` — see
 # EXPERIMENTS.md "Benchmark trajectory".
-BENCH_FILE ?= BENCH_9.json
+BENCH_FILE ?= BENCH_10.json
 BENCH_SECTION ?= post
-BENCH_PR ?= 9
+BENCH_PR ?= 10
 BENCH_PATTERN ?= .
 .PHONY: bench
 bench:

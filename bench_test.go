@@ -12,6 +12,8 @@
 package bench
 
 import (
+	"fmt"
+	"os"
 	"runtime"
 	"testing"
 
@@ -417,6 +419,122 @@ func BenchmarkPacketSwitchDeliver(b *testing.B) {
 		}
 		d.NF(id).VPP.Pop()
 	}
+}
+
+// --- Serverless churn ------------------------------------------------------
+
+// BenchmarkChurnNF is the BENCH_10 trajectory benchmark: one full churn
+// round — launch toward a steady-state live target, attest the
+// newcomers, tear down pseudo-random victims, then drain — against a
+// fresh S-NIC each iteration. A fresh device per round keeps NF ids far
+// from the edge of the uint16 namespace and makes every iteration
+// identical work. CHURN_FASTPATH=0 pins the paper-exact cold control
+// path (record that run as the BENCH_10 "baseline" section); the
+// default run enables batched attestation, the warm scrubbed-arena
+// pool, and parallel teardown scrub ("post"). sim-launches-per-sec is
+// the headline metric: post must hold at >= 3x baseline.
+func BenchmarkChurnNF(b *testing.B) {
+	fast := os.Getenv("CHURN_FASTPATH") != "0"
+	const (
+		events = 60
+		target = 6
+		batch  = 4
+	)
+	v, err := attest.NewVendor("V", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nonce := []byte("bench-churn")
+	var simMS float64
+	var launches uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := snic.New(snic.Config{Cores: 8, MemBytes: 256 << 20}, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fast {
+			d.SetFastPaths(snic.FastPaths{WarmPool: true, ParallelScrub: true})
+		}
+		rng := sim.NewRand(0x10C)
+		free := []uint{0, 1, 2, 3, 4, 5, 6, 7}
+		coreOf := map[snic.ID]uint{}
+		var live, pending []snic.ID
+		flush := func() {
+			if len(pending) == 0 {
+				return
+			}
+			if fast {
+				_, _, _, ms, err := d.AttestNFBatch(pending, nonce)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simMS += ms
+			} else {
+				for _, id := range pending {
+					_, _, ms, err := d.AttestNF(id, nonce)
+					if err != nil {
+						b.Fatal(err)
+					}
+					simMS += ms
+				}
+			}
+			pending = pending[:0]
+		}
+		down := func(k int) {
+			id := live[k]
+			live = append(live[:k], live[k+1:]...)
+			for j, p := range pending {
+				if p == id {
+					pending = append(pending[:j], pending[j+1:]...)
+					break
+				}
+			}
+			rep, err := d.Teardown(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			simMS += rep.TotalMS()
+			free = append(free, coreOf[id])
+			delete(coreOf, id)
+		}
+		for ev, seq := 0, 0; ev < events; ev++ {
+			if len(live) < target {
+				core := free[0]
+				free = free[1:]
+				rep, err := d.Launch(snic.LaunchSpec{
+					CoreMask:   1 << core,
+					Image:      []byte(fmt.Sprintf("churn fn %05d", seq)),
+					MemBytes:   1 << 20,
+					RXBufBytes: 32 << 10,
+					TXBufBytes: 32 << 10,
+					DMACore:    -1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				seq++
+				coreOf[rep.ID] = core
+				live = append(live, rep.ID)
+				pending = append(pending, rep.ID)
+				launches++
+				simMS += rep.TotalMS()
+				if len(pending) >= batch {
+					flush()
+				}
+			} else {
+				down(rng.Intn(len(live)))
+			}
+		}
+		flush()
+		for len(live) > 0 {
+			down(len(live) - 1)
+		}
+	}
+	if simMS > 0 {
+		b.ReportMetric(float64(launches)/(simMS/1e3), "sim-launches-per-sec")
+	}
+	b.ReportMetric(simMS/float64(b.N), "sim-ms-per-round")
 }
 
 // --- Streaming replay ------------------------------------------------------

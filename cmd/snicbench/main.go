@@ -190,6 +190,13 @@ var registry = map[string]func(*bench) error{
 		}
 		return b.emit(exp.RenderFleet(rows))
 	},
+	"churn": func(b *bench) error {
+		rows, err := b.runner.ChurnNF(b.cfgs.churn)
+		if err != nil {
+			return err
+		}
+		return b.emit(exp.RenderChurn(rows))
+	},
 	"replay": func(b *bench) error {
 		cfg := b.cfgs.replay
 		cfg.CheckpointPath = b.checkpoint
@@ -350,6 +357,7 @@ type configs struct {
 	fig8Requests int
 	fleetDevices int
 	fleetEvents  int
+	churn        exp.ChurnConfig
 	replay       exp.ReplayConfig
 }
 
@@ -364,6 +372,7 @@ func scaleConfigs(scale string) configs {
 			counts:      []int{2, 4, 8},
 			fig7Seconds: 30, fig7Rate: 4000, fig8Requests: 2000,
 			fleetDevices: 3, fleetEvents: 30,
+			churn:  exp.ChurnConfig{Events: 60, Target: 6, Batch: 4, MemMB: 1},
 			replay: exp.ReplayConfig{Flows: 20000, PerFlow: 3, Shards: 4, Seed: 0xCA1DA},
 		}
 	case "full":
@@ -375,6 +384,10 @@ func scaleConfigs(scale string) configs {
 			counts:      []int{2, 3, 4, 8, 16},
 			fig7Seconds: 150, fig7Rate: 0, fig8Requests: 20000,
 			fleetDevices: 8, fleetEvents: 200,
+			// ~1k S-NIC launches per mode: enough churn cycles that the
+			// warm pool reaches steady state and the real-crypto attest
+			// cost (the fast paths' target) dominates the cold run.
+			churn: exp.ChurnConfig{Events: 2000, Target: 10, Batch: 16, MemMB: 1},
 			// The paper's full CAIDA window: 26.7 M flows, ~50:1
 			// packet:flow ratio (1.34 G packets). Streams in O(1) memory;
 			// pair with -checkpoint to make the hours-long run resumable.
@@ -391,6 +404,7 @@ func scaleConfigs(scale string) configs {
 			counts:      []int{2, 3, 4, 8, 16},
 			fig7Seconds: 60, fig7Rate: 7417, fig8Requests: 8000,
 			fleetDevices: 5, fleetEvents: 80,
+			churn: exp.ChurnConfig{Events: 400, Target: 8, Batch: 8, MemMB: 1},
 			// Matches the golden suite's replay shape.
 			replay: exp.ReplayConfig{Flows: 50000, PerFlow: 3, Shards: 4, Seed: 0xCA1DA},
 		}

@@ -35,6 +35,7 @@ func main() {
 	section := flag.String("section", "", `section name: for -record, where to store (default "post"); for a single-file diff argument, which section to read`)
 	pr := flag.Int("pr", 0, "PR number to stamp into the file on -record")
 	threshold := flag.Float64("threshold", 10, "ns/op regression tolerance in percent before exit 1")
+	format := flag.String("format", "table", `diff output format: "table" or "json"`)
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, `usage: go test -bench=. -benchmem . | snicperf -record -o BENCH_N.json [-section post] [-pr N]
        snicperf [-threshold PCT] BENCH_N.json             (baseline vs post)
@@ -60,7 +61,7 @@ func main() {
 		if base == nil || post == nil {
 			fatal(fmt.Errorf("%s: single-file diff needs both \"baseline\" and \"post\" sections", flag.Arg(0)))
 		}
-		diff(base, post, *threshold)
+		diff(base, post, *threshold, *format)
 	case 2:
 		old, err := readFile(flag.Arg(0)).Section(*section)
 		if err != nil {
@@ -70,7 +71,7 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", flag.Arg(1), err))
 		}
-		diff(old, cur, *threshold)
+		diff(old, cur, *threshold, *format)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -118,11 +119,25 @@ func readFile(path string) *perf.File {
 	return f
 }
 
-func diff(old, cur *perf.Summary, threshold float64) {
+func diff(old, cur *perf.Summary, threshold float64, format string) {
 	deltas := perf.Diff(old, cur)
-	fmt.Print(perf.RenderDiff(deltas, threshold))
-	if n := perf.Regressions(deltas, threshold); n > 0 {
-		fmt.Printf("%d of %d benchmarks regressed beyond %.0f%%\n", n, len(deltas), threshold)
+	switch format {
+	case "", "table":
+		fmt.Print(perf.RenderDiff(deltas, threshold))
+	case "json":
+		out, err := perf.RenderDiffJSON(deltas, threshold)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want table or json)", format))
+	}
+	n := perf.Regressions(deltas, threshold)
+	if n > 0 {
+		if format != "json" {
+			fmt.Printf("%d of %d benchmarks regressed beyond %.0f%%\n", n, len(deltas), threshold)
+		}
 		os.Exit(1)
 	}
 }

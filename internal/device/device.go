@@ -62,6 +62,13 @@ const (
 	// OS handles runtime translation faults for functions. It is the
 	// prerequisite the controlled-channel attack needs.
 	DemandPaging
+	// WarmPool marks an *active* churn fast path, not a static model
+	// property: teardown parks scrubbed frames in a per-device arena
+	// for reuse by the next launch. Devices advertise it only while the
+	// fast path is enabled (see SNIC.EnableFastPaths), so the attack
+	// matrix and placement logic see exactly the configuration they run
+	// against.
+	WarmPool
 )
 
 // Has reports whether c contains every bit of f.
@@ -79,6 +86,7 @@ var capNames = []struct {
 	{MgmtIsolated, "mgmt-isolated"},
 	{Attestation, "attestation"},
 	{DemandPaging, "demand-paging"},
+	{WarmPool, "warm-pool"},
 }
 
 func (c Capability) String() string {

@@ -32,6 +32,18 @@ const TLBEntriesPerCore = 64
 // SecDCP/static partitioning carves up.
 const DefaultCacheWays = 16
 
+// WarmPoolFrames sizes a device's warm scrubbed-arena pool from its
+// capacity vector: a quarter of DRAM, in frames. Large enough that a
+// churn workload's steady-state working set stays warm, small enough
+// that parked frames never starve cold allocations — the general
+// allocator always keeps three quarters of the device to itself.
+func WarmPoolFrames(r Resources, frameSize uint64) uint64 {
+	if frameSize == 0 {
+		return 0
+	}
+	return r.MemBytes / 4 / frameSize
+}
+
 // Fits reports whether d fits inside the remaining capacity r.
 func (r Resources) Fits(d Resources) bool {
 	return d.Cores <= r.Cores &&

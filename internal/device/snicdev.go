@@ -72,8 +72,24 @@ func (s *SNIC) Vendor() *attest.Vendor { return s.vendor }
 func (s *SNIC) Model() string { return "snic" }
 
 func (s *SNIC) Caps() Capability {
-	return SingleOwnerRAM | ArbitratedBus | LockedTLB | PartitionedCache |
+	c := SingleOwnerRAM | ArbitratedBus | LockedTLB | PartitionedCache |
 		PrivateAccel | MgmtIsolated | Attestation
+	if s.dev.FastPathConfig().WarmPool {
+		c |= WarmPool
+	}
+	return c
+}
+
+// EnableFastPaths turns the churn fast paths on (or off, with the zero
+// value) on the underlying S-NIC. A warm pool left unsized by the
+// caller is bounded from the device's capacity vector — see
+// WarmPoolFrames — so fleet code can enable pooling without knowing the
+// DRAM geometry.
+func (s *SNIC) EnableFastPaths(fp snic.FastPaths) {
+	if fp.WarmPool && fp.PoolFrames == 0 {
+		fp.PoolFrames = WarmPoolFrames(s.Resources(), s.FrameSize())
+	}
+	s.dev.SetFastPaths(fp)
 }
 
 func (s *SNIC) Launch(spec FuncSpec) (FuncID, error) {
@@ -96,6 +112,51 @@ func (s *SNIC) Launch(spec FuncSpec) (FuncID, error) {
 		return 0, fmt.Errorf("device: core table out of sync: %w", err)
 	}
 	return rep.ID, nil
+}
+
+// LaunchTimed launches like Launch but also returns the §4.2 per-phase
+// launch report, and reserves only small per-function port buffers
+// (32 KB per direction): churn workloads cycle many short-lived
+// functions through the switch ports, where the default 256 KB
+// reservations would exhaust the physical TX buffer at a handful of
+// live functions.
+func (s *SNIC) LaunchTimed(spec FuncSpec) (FuncID, snic.LaunchReport, error) {
+	spec.defaults()
+	mask, err := s.cores.pick(spec.CoreMask)
+	if err != nil {
+		return 0, snic.LaunchReport{}, err
+	}
+	rep, err := s.dev.Launch(snic.LaunchSpec{
+		CoreMask:   mask,
+		Image:      spec.Image,
+		MemBytes:   mem.AlignUp(spec.MemBytes, s.dev.Memory().FrameSize()),
+		Rules:      spec.Rules,
+		RXBufBytes: 32 << 10,
+		TXBufBytes: 32 << 10,
+		DMACore:    -1,
+	})
+	if err != nil {
+		return 0, snic.LaunchReport{}, err
+	}
+	if _, err := s.cores.claim(rep.ID, mask); err != nil {
+		return 0, snic.LaunchReport{}, fmt.Errorf("device: core table out of sync: %w", err)
+	}
+	return rep.ID, rep, nil
+}
+
+// TeardownTimed tears down like Teardown but also returns the §4.2
+// per-phase teardown report.
+func (s *SNIC) TeardownTimed(id FuncID) (snic.TeardownReport, error) {
+	if err := s.live(id); err != nil {
+		return snic.TeardownReport{}, err
+	}
+	rep, err := s.dev.Teardown(id)
+	if err != nil {
+		return snic.TeardownReport{}, err
+	}
+	s.cores.release(id)
+	delete(s.accelFree, id)
+	return rep, nil
 }
 
 // live normalizes "no such NF" to the interface error.

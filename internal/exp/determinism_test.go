@@ -81,6 +81,12 @@ func renderAll(t *testing.T, workers int) string {
 	}
 	b.WriteString(RenderFleet(fleetRows).String())
 
+	churnRows, err := r.ChurnNF(goldenChurnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(RenderChurn(churnRows).String())
+
 	replay, err := r.ReplayCAIDA(goldenReplayConfig())
 	if err != nil {
 		t.Fatal(err)

@@ -28,6 +28,7 @@ import (
 //	POST /v1/tenants/<n>/nfs   place an NF            {NFSpec}
 //	DELETE /v1/tenants/<n>/nfs/<nf>  remove one placement
 //	POST /v1/burst             drive one traffic burst {WorkloadSpec}
+//	POST /v1/churn             drive one serverless-churn run {ChurnSpec}
 //	POST /v1/advance           advance the clock       {"cycles": n}
 //	GET  /v1/metrics           obs metric dump (text, "# snic-metrics v1";
 //	                           ?format=prom for Prometheus exposition)
@@ -49,6 +50,7 @@ func NewAPI(m *Manager) *API {
 	a.mux.HandleFunc("/v1/tenants", a.postOnly(a.handleAdmit))
 	a.mux.HandleFunc("/v1/tenants/", a.handleTenantSub)
 	a.mux.HandleFunc("/v1/burst", a.postOnly(a.handleBurst))
+	a.mux.HandleFunc("/v1/churn", a.postOnly(a.handleChurn))
 	a.mux.HandleFunc("/v1/advance", a.postOnly(a.handleAdvance))
 	a.mux.HandleFunc("/v1/metrics", a.getOnly(a.handleMetrics))
 	a.mux.HandleFunc("/v1/trace", a.getOnly(a.handleTrace))
@@ -136,7 +138,7 @@ func (a *API) handleOper(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, a.m.Stats())
+	writeJSON(w, http.StatusOK, a.m.StatsView())
 }
 
 func (a *API) handleAddDevice(w http.ResponseWriter, r *http.Request) {
@@ -250,6 +252,20 @@ func (a *API) handleBurst(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := a.m.Burst(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (a *API) handleChurn(w http.ResponseWriter, r *http.Request) {
+	var spec ChurnSpec
+	if err := decode(r, &spec); err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := a.m.Churn(spec)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -1,0 +1,357 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"snic/internal/device"
+	"snic/internal/engine"
+	"snic/internal/obs"
+	"snic/internal/sim"
+	"snic/internal/snic"
+)
+
+// ChurnSpec is one serverless-churn run (POST /v1/churn): every active
+// device continuously launches, attests, and tears down short-lived
+// ephemeral functions — λ-NIC-style workloads — without touching the
+// tenant placement tables. The run is self-contained: every ephemeral
+// function is torn down before it returns, so the fleet's schedulable
+// state is exactly what it was, plus the clock advance and the stats.
+type ChurnSpec struct {
+	// Events is the number of lifecycle events per device (default 40).
+	Events int `json:"events,omitempty"`
+	// Target is the steady-state ephemeral-function count per device,
+	// clamped to the device's free cores (default 2).
+	Target int `json:"target,omitempty"`
+	// Batch is the attestation batch size on S-NICs when FastPath is on
+	// (default 4); the cold path always attests one quote per function.
+	Batch int `json:"batch,omitempty"`
+	// MemMB is the per-function reservation (default 1).
+	MemMB uint64 `json:"mem_mb,omitempty"`
+	// FastPath enables the S-NIC churn fast paths — batched attestation,
+	// warm scrubbed-arena pool, parallel teardown scrub — for the
+	// duration of the run; each device's prior configuration is restored
+	// (and any parked frames drained) before the run returns.
+	FastPath bool `json:"fast_path,omitempty"`
+}
+
+func (s *ChurnSpec) defaults() {
+	if s.Events == 0 {
+		s.Events = 40
+	}
+	if s.Target == 0 {
+		s.Target = 2
+	}
+	if s.Batch == 0 {
+		s.Batch = 4
+	}
+	if s.MemMB == 0 {
+		s.MemMB = 1
+	}
+}
+
+// DeviceChurn is one device's slice of a churn run — and, accumulated
+// across runs, the per-device block /v1/oper/stats serves. Latency is
+// simulated control-path milliseconds; commodity models carry no
+// control-path cost model, so their SimMS (and launches/sec) stay zero.
+type DeviceChurn struct {
+	Device     string  `json:"device"`
+	Launches   uint64  `json:"launches"`
+	Fails      uint64  `json:"fails,omitempty"`
+	Attests    uint64  `json:"attests"`
+	Teardowns  uint64  `json:"teardowns"`
+	PoolHits   uint64  `json:"pool_hits,omitempty"`
+	PoolMisses uint64  `json:"pool_misses,omitempty"`
+	SimMS      float64 `json:"sim_ms"`
+	PerSec     float64 `json:"launches_per_sec"`
+}
+
+// add folds one run's slice into a cumulative accumulator, recomputing
+// the throughput from the folded totals.
+func (d *DeviceChurn) add(r DeviceChurn) {
+	d.Launches += r.Launches
+	d.Fails += r.Fails
+	d.Attests += r.Attests
+	d.Teardowns += r.Teardowns
+	d.PoolHits += r.PoolHits
+	d.PoolMisses += r.PoolMisses
+	d.SimMS += r.SimMS
+	d.PerSec = perSec(d.Launches, d.SimMS)
+}
+
+func perSec(launches uint64, simMS float64) float64 {
+	if simMS <= 0 {
+		return 0
+	}
+	return float64(launches) / (simMS / 1e3)
+}
+
+// ChurnResult summarizes one churn run across the fleet.
+type ChurnResult struct {
+	Churn     uint64        `json:"churn"`
+	Devices   []DeviceChurn `json:"devices"`
+	Launches  uint64        `json:"launches"`
+	Fails     uint64        `json:"fails,omitempty"`
+	Attests   uint64        `json:"attests"`
+	Teardowns uint64        `json:"teardowns"`
+	Cycles    uint64        `json:"cycles"` // clock advance: the slowest device
+	Clock     uint64        `json:"clock"`  // fleet clock after the run
+}
+
+// Churn drives one churn run on every active device. Like Burst, the
+// run fans out one engine job per device through fanOutLocked: each
+// device cycles its own ephemeral functions from its own derived
+// stream, so the result — and every golden downstream of it — is
+// byte-identical at any worker count.
+func (m *Manager) Churn(spec ChurnSpec) (ChurnResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	spec.defaults()
+
+	round := m.churns
+	m.churns++
+
+	names := make([]string, 0, len(m.devices))
+	for n, d := range m.devices {
+		if d.state == stateActive {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	start := m.clock
+	jobs := make([]engine.Job[DeviceChurn], len(names))
+	for i, n := range names {
+		md := m.devices[n]
+		jobs[i] = engine.Job[DeviceChurn]{
+			Experiment: "fleet/churn",
+			Key:        fmt.Sprintf("%03d/%s", round, n),
+			Run: func(rng *sim.Rand) (DeviceChurn, error) {
+				return m.churnDevice(md, spec, round, start, rng)
+			},
+		}
+	}
+	results, err := fanOutLocked(m, jobs)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+
+	out := ChurnResult{Churn: round, Devices: results}
+	for i, r := range results {
+		md := m.devices[names[i]]
+		md.churn.Device = md.name
+		md.churn.add(r)
+		out.Launches += r.Launches
+		out.Fails += r.Fails
+		out.Attests += r.Attests
+		out.Teardowns += r.Teardowns
+		if c := obs.MSToCycles(r.SimMS); c > out.Cycles {
+			out.Cycles = c
+		}
+	}
+	m.clock += out.Cycles
+	m.stats.ChurnRuns++
+	m.stats.ChurnLaunches += out.Launches
+	m.stats.ChurnFails += out.Fails
+	m.stats.ChurnAttests += out.Attests
+	m.stats.ChurnTeardowns += out.Teardowns
+	m.event(fmt.Sprintf("churn %03d", round))
+	out.Clock = m.clock
+	return out, nil
+}
+
+// churnDevice runs one device's churn loop: launch ephemeral functions
+// toward the steady-state target, attest them (individually, or in
+// Merkle batches on the fast path), tear down rng-chosen victims at the
+// target, and drain everything before returning. md is owned
+// exclusively by this job (see fanOutLocked).
+func (m *Manager) churnDevice(md *managedDevice, spec ChurnSpec, round, start uint64, rng *sim.Rand) (DeviceChurn, error) {
+	out := DeviceChurn{Device: md.name}
+
+	sn, isSNIC := md.nic.(*device.SNIC)
+	var poolH0, poolM0 uint64
+	if isSNIC {
+		if spec.FastPath {
+			prev := sn.Underlying().FastPathConfig()
+			sn.EnableFastPaths(snic.FastPaths{WarmPool: true, ParallelScrub: true})
+			// Restoring the prior configuration drains any parked frames
+			// back to the free list, so later placements see the same
+			// allocator the scheduler's capacity vector promises.
+			defer sn.Underlying().SetFastPaths(prev)
+		}
+		poolH0, poolM0 = sn.Underlying().PoolStats()
+	}
+	batch := 1
+	if isSNIC && spec.FastPath {
+		batch = spec.Batch
+	}
+
+	target := spec.Target
+	if free := md.nic.FreeCores(); target > free {
+		target = free
+	}
+
+	var live, pending []device.FuncID
+	nonce := []byte("fleet-churn")
+
+	attestBatch := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		if isSNIC {
+			if batch > 1 {
+				_, _, _, ms, err := sn.Underlying().AttestNFBatch(pending, nonce)
+				if err != nil {
+					return err
+				}
+				out.SimMS += ms
+			} else {
+				for _, id := range pending {
+					_, _, ms, err := sn.Underlying().AttestNF(id, nonce)
+					if err != nil {
+						return err
+					}
+					out.SimMS += ms
+				}
+			}
+			out.Attests += uint64(len(pending))
+		} else {
+			// Commodity models without attestation fall through with zero
+			// attests; a model that grows the capability counts.
+			for _, id := range pending {
+				if _, err := md.nic.Attest(id, nonce); err == nil {
+					out.Attests++
+				}
+			}
+		}
+		pending = pending[:0]
+		return nil
+	}
+
+	doLaunch := func(seq int) bool {
+		fspec := device.FuncSpec{
+			Name:     fmt.Sprintf("churn-%03d-%04d", round, seq),
+			MemBytes: spec.MemMB << 20,
+		}
+		var id device.FuncID
+		var err error
+		if isSNIC {
+			var rep snic.LaunchReport
+			id, rep, err = sn.LaunchTimed(fspec)
+			if err == nil {
+				out.SimMS += rep.TotalMS()
+			}
+		} else {
+			id, err = md.nic.Launch(fspec)
+		}
+		if err != nil {
+			// A refused launch is a model finding, not a harness error:
+			// bump-only secure allocators exhaust under sustained churn.
+			out.Fails++
+			return false
+		}
+		live = append(live, id)
+		pending = append(pending, id)
+		out.Launches++
+		return true
+	}
+
+	doTeardown := func(k int) error {
+		id := live[k]
+		live = append(live[:k], live[k+1:]...)
+		for i, p := range pending {
+			if p == id {
+				pending = append(pending[:i], pending[i+1:]...)
+				break
+			}
+		}
+		if isSNIC {
+			rep, err := sn.TeardownTimed(id)
+			if err != nil {
+				return err
+			}
+			out.SimMS += rep.TotalMS()
+		} else if err := md.nic.Teardown(id); err != nil {
+			return err
+		}
+		out.Teardowns++
+		return nil
+	}
+
+	for ev, seq := 0, 0; target > 0 && ev < spec.Events; ev++ {
+		if len(live) < target {
+			ok := doLaunch(seq)
+			seq++
+			switch {
+			case ok:
+				if len(pending) >= batch {
+					if err := attestBatch(); err != nil {
+						return out, err
+					}
+				}
+			case len(live) > 0:
+				// Recycle a victim so a refusing device keeps exercising
+				// the teardown path instead of stalling the loop.
+				if err := doTeardown(rng.Intn(len(live))); err != nil {
+					return out, err
+				}
+			}
+		} else {
+			if err := doTeardown(rng.Intn(len(live))); err != nil {
+				return out, err
+			}
+		}
+	}
+	// Drain: quote the stragglers, then tear everything down so the
+	// device leaves the run exactly as it entered (placements intact).
+	if err := attestBatch(); err != nil {
+		return out, err
+	}
+	for len(live) > 0 {
+		if err := doTeardown(len(live) - 1); err != nil {
+			return out, err
+		}
+	}
+
+	if isSNIC {
+		h, ms := sn.Underlying().PoolStats()
+		out.PoolHits = h - poolH0
+		out.PoolMisses = ms - poolM0
+	}
+	out.PerSec = perSec(out.Launches, out.SimMS)
+
+	lbl := func(name string) obs.Label {
+		return obs.Label{Device: "fleet/" + md.name, Owner: "-", Component: "churn", Name: name}
+	}
+	m.cfg.Obs.Counter(lbl("launches")).Add(out.Launches)
+	m.cfg.Obs.Counter(lbl("attests")).Add(out.Attests)
+	m.cfg.Obs.Counter(lbl("teardowns")).Add(out.Teardowns)
+	m.cfg.Obs.Tracer("fleet/"+md.name+"/churn").Span(
+		"churn", fmt.Sprintf("churn %03d", round), start, obs.MSToCycles(out.SimMS))
+	return out, nil
+}
+
+// StatsView is what /v1/oper/stats serves: the cumulative scheduler
+// counters plus, once a churn run has happened, the per-device churn
+// accounting with launches/sec. The churn block is omitted while empty
+// so pre-churn stats dumps are byte-identical to the plain Stats form.
+type StatsView struct {
+	Stats
+	Churn []DeviceChurn `json:"churn,omitempty"`
+}
+
+// StatsView returns the cumulative counters plus per-device churn
+// throughput.
+func (m *Manager) StatsView() StatsView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := StatsView{Stats: m.stats}
+	for _, name := range m.sortedDeviceNames() {
+		md := m.devices[name]
+		if md.churn.Launches+md.churn.Fails == 0 {
+			continue
+		}
+		v.Churn = append(v.Churn, md.churn)
+	}
+	return v
+}

@@ -34,6 +34,7 @@ type managedDevice struct {
 	capacity device.Resources
 	used     device.Resources
 	placed   map[string]*Placement // key: tenant "/" nf
+	churn    DeviceChurn           // cumulative churn accounting (see churn.go)
 }
 
 func (d *managedDevice) free() device.Resources { return d.capacity.Sub(d.used) }
@@ -90,6 +91,14 @@ type Stats struct {
 	AccelOps     uint64 `json:"accel_ops"`
 	BusOps       uint64 `json:"bus_ops"`
 	MemRoundtrip uint64 `json:"mem_roundtrips"`
+
+	// Churn counters carry omitempty so every golden pinned before the
+	// churn op existed stays byte-identical until a churn run happens.
+	ChurnRuns      uint64 `json:"churn_runs,omitempty"`
+	ChurnLaunches  uint64 `json:"churn_launches,omitempty"`
+	ChurnFails     uint64 `json:"churn_fails,omitempty"`
+	ChurnAttests   uint64 `json:"churn_attests,omitempty"`
+	ChurnTeardowns uint64 `json:"churn_teardowns,omitempty"`
 }
 
 // Config parameterizes a Manager.
@@ -125,6 +134,7 @@ type Manager struct {
 	tenants  map[string]*tenant
 	nextPort uint16
 	bursts   uint64
+	churns   uint64
 	stats    Stats
 
 	// obs write handles (nil-safe when no collector is attached).

@@ -32,6 +32,25 @@ type BurstResult struct {
 	Clock         uint64 `json:"clock"`  // fleet clock after the burst
 }
 
+// fanOutLocked is the manager's single seam onto the engine pool: every
+// op that parallelizes across devices (traffic bursts, churn runs)
+// funnels through this call while holding m.mu.
+//
+// Holding mu across the fan-out is the determinism contract, not an
+// oversight: the lock is what gives each engine job exclusive ownership
+// of its devices for the whole op, and the jobs never re-enter the
+// manager. Serializing fan-outs against control-plane mutations is
+// exactly the semantics the scenario goldens pin.
+func fanOutLocked[T any](m *Manager, jobs []engine.Job[T]) ([]T, error) {
+	//lint:allow lock-discipline fan-out jobs own their devices exclusively under mu and never re-enter the manager; serialization is the determinism contract
+	results, _, err := engine.Run(engine.Config{
+		Workers:  m.cfg.Workers,
+		Seed:     m.cfg.Seed,
+		Progress: m.cfg.Progress,
+	}, jobs)
+	return results, err
+}
+
 // deviceBurst is one engine job's result: the burst as seen by a single
 // device.
 type deviceBurst struct {
@@ -93,17 +112,7 @@ func (m *Manager) Burst(spec WorkloadSpec) (BurstResult, error) {
 			},
 		}
 	}
-	// Holding mu across the fan-out is the determinism contract, not an
-	// oversight: the lock is what gives each engine job exclusive
-	// ownership of its device for the whole burst, and the jobs never
-	// re-enter the manager. Serializing bursts against control-plane
-	// mutations is exactly the semantics the scenario goldens pin.
-	//lint:allow lock-discipline burst jobs own their devices exclusively under mu and never re-enter the manager; serialization is the determinism contract
-	results, _, err := engine.Run(engine.Config{
-		Workers:  m.cfg.Workers,
-		Seed:     m.cfg.Seed,
-		Progress: m.cfg.Progress,
-	}, jobs)
+	results, err := fanOutLocked(m, jobs)
 	if err != nil {
 		return BurstResult{}, err
 	}

@@ -24,3 +24,28 @@ func Reseed() int { return timing.Jitter() }
 func Snapshot(r *obs.Registry) string { return export(r) }
 
 func export(r *obs.Registry) string { return r.DumpMetrics() }
+
+// --- Warm-pool shapes ------------------------------------------------------
+//
+// The churn fast paths put pool bookkeeping helpers on the simulation
+// path (park, reclaim, hit accounting). These chains pin the two shapes
+// such helpers must never take: wall-clock frame age and mid-run
+// read-back of the pool counters.
+
+// PoolAge decides parked-frame freshness by wall-clock age instead of
+// simulated cycles; the read hides three pool helpers away.
+func PoolAge() int64 { return poolStamp() }
+
+func poolStamp() int64 { return parkedAt() }
+
+func parkedAt() int64 { return timing.Parked() }
+
+// PoolPressure steers eviction by reading the pool-hit counter back
+// mid-simulation: pool counters are write-only on the simulation path.
+func PoolPressure(r *obs.Registry) int64 { return poolStats(r) }
+
+func poolStats(r *obs.Registry) int64 { return hits(r) }
+
+func hits(r *obs.Registry) int64 {
+	return r.Counter(obs.Label{Component: "snic", Name: "pool_hit"}).Value()
+}

@@ -16,3 +16,7 @@ func Stamp() int64 { return time.Now().UnixNano() }
 
 // Jitter draws ambient randomness outside any seeded stream.
 func Jitter() int { return rand.Intn(1000) }
+
+// Parked timestamps a pooled frame at park time — wall-clock age, the
+// exact field a warm-pool eviction policy must never consult.
+func Parked() int64 { return time.Now().Unix() }

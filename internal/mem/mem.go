@@ -41,6 +41,13 @@ type Physical struct {
 	owner     []Owner
 	frames    map[uint64][]byte // lazily allocated backing store
 	freeHint  uint64
+
+	// Warm arena pool (pool.go): scrubbed frame runs parked under the
+	// Pooled owner for reuse by the next launch. Disabled (poolCap 0)
+	// unless the device layer opts in.
+	pool       []Range
+	poolFrames uint64
+	poolCap    uint64
 }
 
 // NewPhysical creates a DRAM of total bytes divided into frameSize frames.

@@ -1,21 +1,39 @@
 package obs
 
 import (
+	"math/bits"
 	"sort"
 	"strconv"
 	"strings"
 )
 
-// HistQuantile estimates the q-quantile (0 < q <= 1) of a power-of-two
-// bucketed histogram by linear interpolation inside the bucket holding
-// the target rank, the same estimate Prometheus' histogram_quantile
-// computes. Bucket k spans [2^(k-1), 2^k-1] (bucket 0 is exactly zero),
-// so the estimate is off by at most the bucket width — good enough for
-// the order-of-magnitude reading percentile summaries exist for.
-// Returns 0 on an empty histogram.
-func HistQuantile(buckets [histBuckets]uint64, q float64) float64 {
+// HistBuckets is a plain power-of-two bucket array — the same shape a
+// Histogram accumulates, but a pure value with no collector behind it.
+// Simulation code that needs a percentile of samples it just generated
+// (the churn experiment's per-phase latency summaries) folds them into
+// a job-local HistBuckets and queries it directly: the result is a pure
+// function of the samples, so the obs-reader ban (no collected-state
+// readback on the simulation path) does not apply. HistQuantile
+// delegates here, keeping dump-side and job-local interpolation
+// bit-identical.
+type HistBuckets [histBuckets]uint64
+
+// Observe folds one sample into its power-of-two bucket, mirroring
+// Histogram.Observe.
+func (b *HistBuckets) Observe(v uint64) {
+	b[bits.Len64(v)]++
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the bucket holding the target rank, the same
+// estimate Prometheus' histogram_quantile computes. Bucket k spans
+// [2^(k-1), 2^k-1] (bucket 0 is exactly zero), so the estimate is off
+// by at most the bucket width — good enough for the order-of-magnitude
+// reading percentile summaries exist for. Returns 0 on an empty
+// histogram.
+func (b HistBuckets) Quantile(q float64) float64 {
 	var total uint64
-	for _, n := range buckets {
+	for _, n := range b {
 		total += n
 	}
 	if total == 0 {
@@ -30,11 +48,11 @@ func HistQuantile(buckets [histBuckets]uint64, q float64) float64 {
 	target := q * float64(total)
 	var cum float64
 	for k := 0; k < histBuckets; k++ {
-		if buckets[k] == 0 {
+		if b[k] == 0 {
 			continue
 		}
 		prev := cum
-		cum += float64(buckets[k])
+		cum += float64(b[k])
 		if cum < target {
 			continue
 		}
@@ -44,12 +62,19 @@ func HistQuantile(buckets [histBuckets]uint64, q float64) float64 {
 			upper = float64(bucketUpper(k))
 		}
 		frac := 0.0
-		if buckets[k] > 0 {
-			frac = (target - prev) / float64(buckets[k])
+		if b[k] > 0 {
+			frac = (target - prev) / float64(b[k])
 		}
 		return lower + frac*(upper-lower)
 	}
 	return float64(bucketUpper(histBuckets - 1))
+}
+
+// HistQuantile estimates the q-quantile of a dumped bucket array.
+// (Reader API: tools and tests only — simulation code uses a job-local
+// HistBuckets instead.)
+func HistQuantile(buckets [histBuckets]uint64, q float64) float64 {
+	return HistBuckets(buckets).Quantile(q)
 }
 
 // HistSummary is one histogram series reconstructed from a metrics

@@ -2,6 +2,7 @@ package perf
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -156,5 +157,46 @@ func TestDiffAndRegressions(t *testing.T) {
 	self := Diff(cur, cur)
 	if n := Regressions(self, 0); n != 0 {
 		t.Errorf("self-diff regressions = %d", n)
+	}
+}
+
+func TestRenderDiffJSON(t *testing.T) {
+	old := mkSummary("A", 100.0, "B", 100.0, "Gone", 50.0)
+	cur := mkSummary("A", 50.0, "B", 130.0, "New", 10.0)
+	deltas := Diff(old, cur)
+	out, err := RenderDiffJSON(deltas, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc DiffJSON
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if doc.ThresholdPct != 10 || doc.Regressions != 1 || len(doc.Benchmarks) != 4 {
+		t.Fatalf("verdict header: %+v", doc)
+	}
+	byName := map[string]DeltaJSON{}
+	for _, b := range doc.Benchmarks {
+		byName[b.Name] = b
+	}
+	if a := byName["A"]; a.Status != "ok" || a.Ratio != 0.5 || a.DeltaPct != -50 {
+		t.Errorf("A row: %+v", a)
+	}
+	if b := byName["B"]; b.Status != "regressed" {
+		t.Errorf("B row: %+v", b)
+	}
+	if g := byName["Gone"]; g.Status != "gone" || g.NewNsPerOp != 0 || g.OldNsPerOp != 50 {
+		t.Errorf("Gone row: %+v", g)
+	}
+	if n := byName["New"]; n.Status != "new" || n.NewNsPerOp != 10 {
+		t.Errorf("New row: %+v", n)
+	}
+	// Deterministic for the same input.
+	again, err := RenderDiffJSON(deltas, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != again {
+		t.Error("RenderDiffJSON not deterministic")
 	}
 }

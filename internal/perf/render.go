@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"text/tabwriter"
@@ -32,6 +33,70 @@ func RenderDiff(deltas []Delta, thresholdPct float64) string {
 	}
 	w.Flush()
 	return b.String()
+}
+
+// DeltaJSON is one benchmark's movement in the -format json diff.
+// Status is "ok", "regressed" (ns/op grew past the threshold), "new"
+// (present only on the new side), or "gone".
+type DeltaJSON struct {
+	Name        string  `json:"name"`
+	Status      string  `json:"status"`
+	OldNsPerOp  float64 `json:"old_ns_per_op,omitempty"`
+	NewNsPerOp  float64 `json:"new_ns_per_op,omitempty"`
+	Ratio       float64 `json:"ratio,omitempty"`     // new/old; <1 = faster
+	DeltaPct    float64 `json:"delta_pct,omitempty"` // (ratio-1)*100
+	OldAllocsOp float64 `json:"old_allocs_per_op,omitempty"`
+	NewAllocsOp float64 `json:"new_allocs_per_op,omitempty"`
+}
+
+// DiffJSON is the machine-readable diff document: everything the table
+// shows plus the regression verdict, so CI tooling can consume the gate
+// without scraping tabwriter output.
+type DiffJSON struct {
+	ThresholdPct float64     `json:"threshold_pct"`
+	Regressions  int         `json:"regressions"`
+	Benchmarks   []DeltaJSON `json:"benchmarks"`
+}
+
+// RenderDiffJSON formats a delta list as indented JSON, mirroring
+// RenderDiff's rows and the Regressions verdict.
+func RenderDiffJSON(deltas []Delta, thresholdPct float64) (string, error) {
+	doc := DiffJSON{
+		ThresholdPct: thresholdPct,
+		Regressions:  Regressions(deltas, thresholdPct),
+		Benchmarks:   make([]DeltaJSON, 0, len(deltas)),
+	}
+	for _, d := range deltas {
+		row := DeltaJSON{Name: d.Name, Status: "ok"}
+		switch {
+		case d.Old == nil:
+			row.Status = "new"
+			row.NewNsPerOp = d.New.NsPerOp
+			row.NewAllocsOp = d.New.AllocsPerOp
+		case d.New == nil:
+			row.Status = "gone"
+			row.OldNsPerOp = d.Old.NsPerOp
+			row.OldAllocsOp = d.Old.AllocsPerOp
+		default:
+			row.OldNsPerOp = d.Old.NsPerOp
+			row.NewNsPerOp = d.New.NsPerOp
+			row.OldAllocsOp = d.Old.AllocsPerOp
+			row.NewAllocsOp = d.New.AllocsPerOp
+			if r := d.Ratio(); r > 0 {
+				row.Ratio = r
+				row.DeltaPct = (r - 1) * 100
+				if r > 1+thresholdPct/100 {
+					row.Status = "regressed"
+				}
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, row)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
 }
 
 // ns prints a ns/op value the way `go test -bench` does: integers for

@@ -140,11 +140,14 @@ type LaunchSpec struct {
 }
 
 // LaunchReport breaks down the simulated nf_launch latency (Figure 6).
+// PoolHit records whether the reservation was served from the warm
+// arena (always false on the default path).
 type LaunchReport struct {
 	ID         ID
 	TLBSetupMS float64
 	DenylistMS float64
 	DigestMS   float64
+	PoolHit    bool
 }
 
 // TotalMS sums the phases.
@@ -206,6 +209,15 @@ type Device struct {
 	obsTr   *obs.Tracer
 	obsClk  obs.Clock
 	obsLive *obs.Gauge
+
+	// Churn fast paths (fastpath.go); all off by default so the
+	// trusted-instruction model stays bit-identical to the paper
+	// calibration.
+	fp          FastPaths
+	poolHits    uint64
+	poolMisses  uint64
+	ctrPoolHit  *obs.Counter
+	ctrPoolMiss *obs.Counter
 }
 
 // Observe attaches the device to a collector: trusted instructions
@@ -228,6 +240,7 @@ func (d *Device) Observe(reg *obs.Registry, track string) {
 	d.zip.Observe(reg, d.cfg.Serial)
 	d.raid.Observe(reg, d.cfg.Serial)
 	d.crypto.Observe(reg, d.cfg.Serial)
+	d.ensureFastPathObs()
 }
 
 // span stamps one trusted-instruction phase of ms simulated
@@ -373,8 +386,10 @@ func (d *Device) Launch(spec LaunchSpec) (LaunchReport, error) {
 		return LaunchReport{}, err
 	}
 
-	// 2. Memory: single-owner frames, image copied in.
-	region, err := d.pm.AllocBytes(id, spec.MemBytes)
+	// 2. Memory: single-owner frames, image copied in. With the warm
+	// pool on, the reservation is served from the scrubbed arena when a
+	// parked run fits.
+	region, poolHit, err := d.allocNFBytes(id, spec.MemBytes)
 	if err != nil {
 		return fail(fmt.Errorf("snic: %w", err))
 	}
@@ -513,7 +528,8 @@ func (d *Device) Launch(spec LaunchSpec) (LaunchReport, error) {
 		ID:         id,
 		TLBSetupMS: d.rates.TLBSetupSec * 1e3,
 		DenylistMS: d.rates.DenylistSec * 1e3,
-		DigestMS:   float64(spec.MemBytes) / d.rates.DigestBytesPerSec * 1e3,
+		DigestMS:   d.digestMS(spec, poolHit),
+		PoolHit:    poolHit,
 	}
 	// The trace mirrors the report phase for phase; the cross-check test
 	// in internal/exp holds the two accountings together.
@@ -542,7 +558,7 @@ func (d *Device) Teardown(id ID) (TeardownReport, error) {
 	if v.DMABank != nil {
 		v.DMABank.Unbind()
 	}
-	scrubbed := d.pm.ReleaseAll(id) // zeroes pages
+	scrubbed := d.releaseNFMem(id) // zeroes pages (parking them if the warm pool is on)
 	d.deny.AllowOwner(id)
 	// Zero cache lines (the microarchitectural half of the scrub).
 	if d.DomainOf != nil {
@@ -551,9 +567,13 @@ func (d *Device) Teardown(id ID) (TeardownReport, error) {
 		}
 	}
 	delete(d.nfs, id)
+	scrubMS := float64(scrubbed) / d.rates.ScrubBytesPerSec * 1e3
+	if stripes := d.scrubStripes(); stripes > 1 {
+		scrubMS /= float64(stripes)
+	}
 	r := TeardownReport{
 		AllowlistMS: d.rates.AllowlistSec * 1e3,
-		ScrubMS:     float64(scrubbed) / d.rates.ScrubBytesPerSec * 1e3,
+		ScrubMS:     scrubMS,
 	}
 	d.span("teardown/allowlist", r.AllowlistMS)
 	d.span("teardown/scrub", r.ScrubMS)
@@ -708,6 +728,7 @@ func (d *Device) Reboot() error {
 			return err
 		}
 	}
+	d.pm.DrainPool() // a power cycle forgets the warm arena
 	d.nextID = mem.FirstNF
 	return d.hw.Reboot()
 }
